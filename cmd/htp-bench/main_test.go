@@ -1,0 +1,89 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan struct{})
+	var out []byte
+	go func() {
+		defer close(done)
+		out, _ = io.ReadAll(r)
+	}()
+	runErr := fn()
+	if cerr := w.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	<-done
+	os.Stdout = old
+	return string(out), runErr
+}
+
+func TestTable3Experiment(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-exp", "table3"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table III", "400.perlbench", "Incremental"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table3 output missing %q", want)
+		}
+	}
+}
+
+func TestGuardExperiment(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-exp", "guard", "-quick"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "targeted saving") {
+		t.Errorf("guard output:\n%s", out)
+	}
+}
+
+func TestQuickServices(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-exp", "services", "-quick"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"nginx", "mysql", "AVERAGE"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("services output missing %q", want)
+		}
+	}
+}
+
+func TestMultipleExperiments(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-exp", "table3,ablation", "-quick"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Table III") || !strings.Contains(out, "queue quota") {
+		t.Errorf("comma-separated selection output:\n%s", out)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "table99"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

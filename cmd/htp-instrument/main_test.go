@@ -1,0 +1,130 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	if cerr := w.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out), runErr
+}
+
+func TestFigure2(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-figure2", "-sites", "-scheme", "Incremental"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"10 functions", "FCS", "Incremental", "A->B#0", "C->F#0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The Incremental set for Figure 2 must not include F's sites.
+	if strings.Contains(out, "F->T1#0") {
+		t.Error("Incremental listing includes pruned site F->T1#0")
+	}
+}
+
+func TestBenchGraph(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-bench", "401.bzip2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "401.bzip2") {
+		t.Errorf("output missing benchmark name:\n%s", out)
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	dot := filepath.Join(t.TempDir(), "g.dot")
+	if _, err := capture(t, func() error {
+		return run([]string{"-figure2", "-dot", dot, "-scheme", "Slim"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"digraph", "color=red"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("DOT file missing %q", want)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no graph selection accepted")
+	}
+	if err := run([]string{"-bench", "999.none"}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if err := run([]string{"-figure2", "-scheme", "Bogus"}); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestProfileBenchmark(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-bench", "462.libquantum", "-profile"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"hottest allocation contexts", "main -> spec_iter", "calloc"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("profile output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestProfileNeedsProgram(t *testing.T) {
+	if err := run([]string{"-figure2", "-profile"}); err == nil {
+		t.Error("-profile with -figure2 accepted (no runnable program)")
+	}
+}
+
+func TestRewriteFlag(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "instr.htp")
+	if _, err := capture(t, func() error {
+		return run([]string{"-program", "../../testdata/leaky-server.htp", "-scheme", "Slim", "-rewrite", out})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"setglobal __cc_v", "ctx global(__cc_v)", "let __cc_t = global(__cc_v)"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("instrumented output missing %q", want)
+		}
+	}
+	if err := run([]string{"-figure2", "-rewrite", out}); err == nil {
+		t.Error("-rewrite without a runnable program accepted")
+	}
+}

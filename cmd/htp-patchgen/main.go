@@ -1,0 +1,131 @@
+// Command htp-patchgen is the Offline Patch Generator CLI: it replays
+// an attack input against a corpus program under the shadow-memory
+// analyzer and writes the generated patches to a configuration file
+// that htp-run can deploy.
+//
+// Usage:
+//
+//	htp-patchgen -list
+//	htp-patchgen -case heartbleed [-o patches.conf] [-attack-file f | built-in attack]
+//	htp-patchgen -program server.htp -attack-file exploit.bin -o patches.conf
+//	htp-patchgen -case heartbleed -dump   # export the corpus program as progtext
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"heaptherapy/internal/core"
+	"heaptherapy/internal/encoding"
+	"heaptherapy/internal/prog"
+	"heaptherapy/internal/progtext"
+	"heaptherapy/internal/vuln"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "htp-patchgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("htp-patchgen", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list corpus programs and exit")
+	caseName := fs.String("case", "", "corpus program to analyze (see -list)")
+	programFile := fs.String("program", "", "analyze a progtext program file instead of a corpus case")
+	dump := fs.Bool("dump", false, "print the selected case's program as progtext and exit")
+	attackFile := fs.String("attack-file", "", "read the attack input from this file instead of the built-in exploit")
+	out := fs.String("o", "", "write the patch configuration here (default: stdout)")
+	encoderName := fs.String("encoder", "PCC", "calling-context encoder: PCC, PCCE (decodable contexts in reports), DeltaPath; htp-run must use the same")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, c := range vuln.AllCases() {
+			fmt.Printf("%-28s %-38s %s\n", c.Name, c.Ref, c.Types)
+		}
+		return nil
+	}
+
+	var (
+		program *prog.Program
+		attack  []byte
+	)
+	switch {
+	case *caseName != "" && *programFile != "":
+		return fmt.Errorf("-case and -program are mutually exclusive")
+	case *caseName != "":
+		c := vuln.ByName(*caseName)
+		if c == nil {
+			return fmt.Errorf("unknown case %q (use -list)", *caseName)
+		}
+		program, attack = c.Program, c.Attack
+		if *dump {
+			fmt.Print(progtext.Print(program))
+			return nil
+		}
+	case *programFile != "":
+		src, err := os.ReadFile(*programFile)
+		if err != nil {
+			return fmt.Errorf("reading program: %w", err)
+		}
+		p, err := progtext.Parse(string(src))
+		if err != nil {
+			return err
+		}
+		program = p
+		if *attackFile == "" {
+			return fmt.Errorf("-program requires -attack-file (there is no built-in exploit)")
+		}
+	default:
+		return fmt.Errorf("-case or -program is required (use -list to see corpus programs)")
+	}
+
+	if *attackFile != "" {
+		data, err := os.ReadFile(*attackFile)
+		if err != nil {
+			return fmt.Errorf("reading attack input: %w", err)
+		}
+		attack = data
+	}
+
+	encKind, err := encoding.ParseEncoder(*encoderName)
+	if err != nil {
+		return err
+	}
+	sys, err := core.NewSystem(program, core.Options{Encoder: encKind})
+	if err != nil {
+		return err
+	}
+	rep, err := sys.GeneratePatches(attack)
+	if err != nil {
+		return err
+	}
+	if err := rep.Write(os.Stderr); err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return fmt.Errorf("creating %s: %w", *out, err)
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "htp-patchgen: closing output:", cerr)
+			}
+		}()
+		w = f
+	}
+	if err := rep.Patches.WriteConfig(w); err != nil {
+		return err
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %d patch(es) to %s\n", rep.Patches.Len(), *out)
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"heaptherapy/internal/patch"
+)
+
+// capture redirects stdout around fn and returns what was printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	if cerr := w.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out), runErr
+}
+
+func TestList(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-list"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"heartbleed", "CVE-2014-0160", "samate-ur-realloc-d2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output missing %q", want)
+		}
+	}
+}
+
+func TestGenerateToFile(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "patches.conf")
+	if err := run([]string{"-case", "heartbleed", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+	set, err := patch.ReadConfig(f)
+	if err != nil {
+		t.Fatalf("generated config does not parse: %v", err)
+	}
+	if set.Len() == 0 {
+		t.Error("generated config is empty")
+	}
+	for _, p := range set.Patches() {
+		if !p.Types.Has(patch.TypeUninitRead) {
+			t.Errorf("heartbleed patch %v lacks UNINIT_READ", p)
+		}
+	}
+}
+
+func TestGenerateWithAttackFile(t *testing.T) {
+	dir := t.TempDir()
+	attack := filepath.Join(dir, "attack.bin")
+	// A benign heartbeat: no patches expected.
+	if err := os.WriteFile(attack, []byte{0x18, 5, 0, 'h', 'e', 'l', 'l', 'o'}, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "patches.conf")
+	if err := run([]string{"-case", "heartbleed", "-attack-file", attack, "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+	set, err := patch.ReadConfig(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 0 {
+		t.Errorf("benign input generated %d patches (zero false positives required)", set.Len())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no -case accepted")
+	}
+	if err := run([]string{"-case", "nonesuch"}); err == nil {
+		t.Error("unknown case accepted")
+	}
+	if err := run([]string{"-case", "bc", "-attack-file", "/nonexistent/x"}); err == nil {
+		t.Error("missing attack file accepted")
+	}
+}
+
+func TestProgramFileWorkflow(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "p.conf")
+	if err := run([]string{
+		"-program", "../../testdata/leaky-server.htp",
+		"-attack-file", "../../testdata/leaky-server.attack",
+		"-o", out,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+	set, err := patch.ReadConfig(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() == 0 {
+		t.Fatal("no patches for file-based program")
+	}
+	var union patch.TypeMask
+	for _, p := range set.Patches() {
+		union |= p.Types
+	}
+	if !union.Has(patch.TypeUninitRead) || !union.Has(patch.TypeOverflow) {
+		t.Errorf("types = %v, want UNINIT_READ|OVERFLOW", union)
+	}
+}
+
+func TestDumpCase(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-case", "bc", "-dump"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"program bc", "func main", "func parse_numbers", "alloc arr = malloc(128)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestProgramRequiresAttackFile(t *testing.T) {
+	if err := run([]string{"-program", "../../testdata/leaky-server.htp"}); err == nil {
+		t.Error("-program without -attack-file accepted")
+	}
+	if err := run([]string{"-program", "x", "-case", "bc"}); err == nil {
+		t.Error("-program with -case accepted")
+	}
+}

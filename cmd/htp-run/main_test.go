@@ -1,0 +1,180 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"heaptherapy/internal/core"
+	"heaptherapy/internal/encoding"
+	"heaptherapy/internal/vuln"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	if cerr := w.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out), runErr
+}
+
+// writePatches generates a real patch file for a case.
+func writePatches(t *testing.T, caseName string) string {
+	t.Helper()
+	c := vuln.ByName(caseName)
+	if c == nil {
+		t.Fatalf("unknown case %s", caseName)
+	}
+	sys, err := core.NewSystem(c.Program, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.GeneratePatches(c.Attack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "p.conf")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Patches.WriteConfig(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestNativeAttack(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-case", "wavpack"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "mode: native") || !strings.Contains(out, "ATTACK SUCCEEDED") {
+		t.Errorf("native attack output:\n%s", out)
+	}
+}
+
+func TestDefendedAttack(t *testing.T) {
+	patches := writePatches(t, "wavpack")
+	out, err := capture(t, func() error {
+		return run([]string{"-case", "wavpack", "-patches", patches})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"mode: defended", "attack did not succeed", "deferred frees"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("defended output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBenignInput(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-case", "wavpack", "-benign", "0"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "attack did not succeed") {
+		t.Errorf("benign run output:\n%s", out)
+	}
+}
+
+func TestInputFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "in.bin")
+	if err := os.WriteFile(path, []byte{0x00, 1, 2, 3}, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capture(t, func() error {
+		return run([]string{"-case", "bc", "-input-file", path})
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing -case accepted")
+	}
+	if err := run([]string{"-case", "nope"}); err == nil {
+		t.Error("unknown case accepted")
+	}
+	if err := run([]string{"-case", "bc", "-benign", "99"}); err == nil {
+		t.Error("out-of-range benign index accepted")
+	}
+	if err := run([]string{"-case", "bc", "-patches", "/nonexistent"}); err == nil {
+		t.Error("missing patch file accepted")
+	}
+}
+
+func TestDefendedThreads(t *testing.T) {
+	patches := writePatches(t, "optipng")
+	out, err := capture(t, func() error {
+		return run([]string{"-case", "optipng", "-patches", patches, "-threads", "3"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"3 threads sharing one heap", "0/3 threads' attacks succeeded"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("threaded output missing %q:\n%s", want, out)
+		}
+	}
+	if err := run([]string{"-case", "optipng", "-threads", "0"}); err == nil {
+		t.Error("-threads 0 accepted")
+	}
+}
+
+func TestEncoderFlagRoundTrip(t *testing.T) {
+	// Patches generated under PCCE deploy under PCCE.
+	c := vuln.ByName("ghostxps")
+	sys, err := core.NewSystem(c.Program, core.Options{Encoder: encoding.EncoderPCCE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.GeneratePatches(c.Attack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "p.conf")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Patches.WriteConfig(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error {
+		return run([]string{"-case", "ghostxps", "-patches", path, "-encoder", "PCCE"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "attack did not succeed") || !strings.Contains(out, "1 recognized vulnerable") {
+		t.Errorf("PCCE round trip failed:\n%s", out)
+	}
+	if err := run([]string{"-case", "ghostxps", "-encoder", "Bogus"}); err == nil {
+		t.Error("bogus encoder accepted")
+	}
+}

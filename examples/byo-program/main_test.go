@@ -1,0 +1,11 @@
+package main
+
+import "testing"
+
+// TestBYOProgramRuns keeps the example compiling and completing
+// successfully as the library evolves.
+func TestBYOProgramRuns(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatalf("byo-program example failed: %v", err)
+	}
+}

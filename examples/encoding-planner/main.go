@@ -1,0 +1,107 @@
+// Encoding planner walkthrough: the paper's Figure 2 example, the
+// four instrumentation planners, and what each buys — the "separate
+// contribution" of targeted calling-context encoding (Section IV).
+//
+//	go run ./examples/encoding-planner
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"heaptherapy/internal/callgraph"
+	"heaptherapy/internal/encoding"
+	"heaptherapy/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "encoding-planner:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	g, targets := callgraph.Figure2()
+	fmt.Println("=== Figure 2: the paper's example graph ===")
+	fmt.Println("functions: A B C D E F H I; targets: T1 T2")
+	fmt.Println("contexts:  A-B-T1, A-C-E-T2, A-C-F-T1, A-C-F-T2")
+	fmt.Println()
+
+	for _, scheme := range encoding.AllSchemes() {
+		plan, err := encoding.NewPlan(scheme, g, targets)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s instruments %d/%d sites: %v\n",
+			scheme, plan.NumSites(), g.NumEdges(), plan.SiteLabels(g))
+	}
+	fmt.Println()
+	fmt.Println("TCS drops D->H and H->I (they cannot reach a target);")
+	fmt.Println("Slim drops B's and E's sites (non-branching nodes);")
+	fmt.Println("Incremental drops F's sites too: F's edges reach DIFFERENT")
+	fmt.Println("targets, and the interceptor already knows which target fired,")
+	fmt.Println("so {TargetFn, CCID} pairs stay distinguishable (Algorithm 1).")
+
+	fmt.Println("\n=== every scheme still distinguishes every context ===")
+	for _, scheme := range encoding.AllSchemes() {
+		for _, kind := range encoding.AllEncoders() {
+			plan, err := encoding.NewPlan(scheme, g, targets)
+			if err != nil {
+				return err
+			}
+			coder, err := encoding.NewCoder(kind, g, plan)
+			if err != nil {
+				return err
+			}
+			n, collisions := encoding.VerifyDistinguishability(g, coder, 0)
+			fmt.Printf("%-12s + %-9s %d contexts, %d collisions\n", scheme, kind, n, len(collisions))
+		}
+	}
+
+	fmt.Println("\n=== CCIDs and decoding (PCCE) ===")
+	plan, err := encoding.NewPlan(encoding.SchemeSlim, g, targets)
+	if err != nil {
+		return err
+	}
+	coder, err := encoding.NewCoder(encoding.EncoderPCCE, g, plan)
+	if err != nil {
+		return err
+	}
+	root := g.NodeByName("A")
+	for _, path := range g.EnumerateContexts(targets, 0) {
+		ccid := coder.EncodePath(path)
+		target := g.Edge(path[len(path)-1]).To
+		decoded, err := coder.Decode(root, target, ccid)
+		if err != nil {
+			return err
+		}
+		var labels []string
+		for _, s := range decoded {
+			labels = append(labels, g.SiteLabel(s))
+		}
+		fmt.Printf("ccid %#x @ %s decodes to %v\n", ccid, g.Name(target), labels)
+	}
+
+	fmt.Println("\n=== the same planners on a SPEC-like graph (Table III) ===")
+	b, err := workload.BenchmarkByName("456.hmmer")
+	if err != nil {
+		return err
+	}
+	bg, btargets, err := b.Graph()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s graph: %d functions, %d call sites\n", b.Name, bg.NumNodes(), bg.NumEdges())
+	for _, scheme := range encoding.AllSchemes() {
+		plan, err := encoding.NewPlan(scheme, bg, btargets)
+		if err != nil {
+			return err
+		}
+		rep := encoding.Cost(bg, plan, encoding.EncoderPCC, b.FuncSize())
+		fmt.Printf("%-12s %4d sites  -> +%.2f%% binary size\n",
+			scheme, rep.InstrumentedSites, rep.SizeIncreasePercent())
+	}
+	fmt.Println("\n(paper's hmmer row: FCS 18.9%, TCS 5.9%, Slim 2.4%, Incremental 1.2%)")
+	return nil
+}

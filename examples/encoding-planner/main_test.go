@@ -1,0 +1,11 @@
+package main
+
+import "testing"
+
+// TestEncodingPlannerExampleRuns keeps the example compiling and
+// completing successfully as the library evolves.
+func TestEncodingPlannerExampleRuns(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatalf("encoding-planner example failed: %v", err)
+	}
+}

@@ -1,0 +1,11 @@
+package main
+
+import "testing"
+
+// TestHeartbleedExampleRuns keeps the example compiling and completing
+// successfully as the library evolves.
+func TestHeartbleedExampleRuns(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatalf("heartbleed example failed: %v", err)
+	}
+}

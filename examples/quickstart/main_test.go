@@ -1,0 +1,11 @@
+package main
+
+import "testing"
+
+// TestQuickstartRuns keeps the example compiling and completing
+// successfully as the library evolves.
+func TestQuickstartRuns(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatalf("quickstart example failed: %v", err)
+	}
+}

@@ -1,0 +1,11 @@
+package main
+
+import "testing"
+
+// TestUAFDefenseExampleRuns keeps the example compiling and completing
+// successfully as the library evolves.
+func TestUAFDefenseExampleRuns(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatalf("uaf-defense example failed: %v", err)
+	}
+}

@@ -1,0 +1,3 @@
+module heaptherapy
+
+go 1.22

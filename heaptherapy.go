@@ -1,0 +1,245 @@
+// Package heaptherapy is a Go reproduction of "HeapTherapy+: Efficient
+// Handling of (Almost) All Heap Vulnerabilities Using Targeted
+// Calling-Context Encoding" (DSN 2019).
+//
+// HeapTherapy+ turns heap-vulnerability handling into configuration:
+// given one attack input, an offline shadow-memory analysis identifies
+// the vulnerable buffer's allocation-time calling context and emits a
+// patch {FUN, CCID, T}; the online defense generator intercepts
+// allocations, recognizes buffers allocated in patched contexts in
+// O(1), and enhances exactly those buffers (guard page for overflows,
+// zero fill for uninitialized reads, deferred reuse for use after
+// free) — no code change, no allocator dependency, and overheads of a
+// few percent.
+//
+// Because the Go runtime manages its own heap and cannot interpose
+// malloc, this reproduction builds the full substrate in simulation: a
+// byte-addressable address space with page protection (mem), a
+// boundary-tag allocator (heapsim), a program model and interpreter
+// (prog), Memcheck-style shadow memory (shadow), and the defense layer
+// (defense). Calling-context encoding and the paper's targeted
+// optimizations (TCS, Slim, Incremental) live in encoding and are a
+// separate, reusable contribution.
+//
+// # Quick start
+//
+//	p := heaptherapy.MustLink(&heaptherapy.Program{ ... })
+//	sys, err := heaptherapy.New(p, heaptherapy.Options{})
+//	patches, report, err := sys.PatchCycle(attackInput)
+//	run, err := sys.RunDefended(attackInput, patches)
+//
+// See examples/ for complete programs and cmd/htp-bench for the
+// harness that regenerates every table and figure of the paper.
+package heaptherapy
+
+import (
+	"io"
+
+	"heaptherapy/internal/analysis"
+	"heaptherapy/internal/core"
+	"heaptherapy/internal/encoding"
+	"heaptherapy/internal/heapsim"
+	"heaptherapy/internal/instrument"
+	"heaptherapy/internal/patch"
+	"heaptherapy/internal/prog"
+	"heaptherapy/internal/progtext"
+)
+
+// --- pipeline --------------------------------------------------------------
+
+// Options configures a System; the zero value selects the paper's
+// deployed configuration (PCC encoding, Incremental planning).
+type Options = core.Options
+
+// System is an instrumented program with offline analysis and online
+// defense attached.
+type System = core.System
+
+// DefendedRun is the outcome of a protected execution.
+type DefendedRun = core.DefendedRun
+
+// Report is an offline analysis report.
+type Report = analysis.Report
+
+// New instruments a linked program and returns the pipeline around it.
+func New(p *Program, opts Options) (*System, error) {
+	return core.NewSystem(p, opts)
+}
+
+// --- program model -----------------------------------------------------------
+
+// Program is a program under protection. Construct one literally and
+// call Link (or MustLink) before use.
+type Program = prog.Program
+
+// Func is a program function.
+type Func = prog.Func
+
+// Stmt is a program statement; see the statement types re-exported
+// below.
+type Stmt = prog.Stmt
+
+// Expr is a side-effect-free expression.
+type Expr = prog.Expr
+
+// Result reports one program execution.
+type Result = prog.Result
+
+// Value is a runtime value.
+type Value = prog.Value
+
+// Statements.
+type (
+	// Assign stores an expression into a variable.
+	Assign = prog.Assign
+	// Alloc is a heap allocation (malloc/calloc/memalign family).
+	Alloc = prog.Alloc
+	// ReallocStmt resizes an allocation.
+	ReallocStmt = prog.ReallocStmt
+	// FreeStmt releases a buffer.
+	FreeStmt = prog.FreeStmt
+	// Load reads memory into a variable.
+	Load = prog.Load
+	// Store writes a scalar to memory.
+	Store = prog.Store
+	// StoreVar writes a variable's bytes to memory.
+	StoreVar = prog.StoreVar
+	// StoreBytes writes literal bytes to memory.
+	StoreBytes = prog.StoreBytes
+	// Memcpy copies between heap buffers.
+	Memcpy = prog.Memcpy
+	// Memset fills memory.
+	Memset = prog.Memset
+	// ReadInput consumes program input.
+	ReadInput = prog.ReadInput
+	// Output emits memory to the program output (a system call).
+	Output = prog.Output
+	// OutputVar emits a variable to the program output.
+	OutputVar = prog.OutputVar
+	// If branches on a condition.
+	If = prog.If
+	// While loops on a condition.
+	While = prog.While
+	// Call invokes another function.
+	Call = prog.Call
+	// Return ends the current function.
+	Return = prog.Return
+	// Nop burns one step.
+	Nop = prog.Nop
+)
+
+// Expression constructors.
+var (
+	// C builds a constant.
+	C = prog.C
+	// V reads a variable.
+	V = prog.V
+	// Add, Sub, Mul, And, Lt, Le, Eq, Ne, Gt build binary expressions.
+	Add = prog.Add
+	Sub = prog.Sub
+	Mul = prog.Mul
+	And = prog.And
+	Lt  = prog.Lt
+	Le  = prog.Le
+	Eq  = prog.Eq
+	Ne  = prog.Ne
+	Gt  = prog.Gt
+)
+
+// Link finalizes a program: validates calls, derives the call graph,
+// and assigns call-site IDs.
+func Link(p *Program) error { return prog.Link(p) }
+
+// MustLink links p and panics on error.
+func MustLink(p *Program) *Program { return prog.MustLink(p) }
+
+// ParseProgram parses the .htp program text format (see
+// testdata/leaky-server.htp for a commented example) into a linked
+// Program.
+func ParseProgram(src string) (*Program, error) { return progtext.Parse(src) }
+
+// PrintProgram renders a program back to .htp text.
+func PrintProgram(p *Program) string { return progtext.Print(p) }
+
+// Instrument runs the Program Instrumentation Tool: it rewrites the
+// system's program so that calling-context maintenance is explicit
+// code (a per-thread global V with update/restore statements and
+// explicit context expressions at allocation sites). The result runs
+// without any runtime encoding support and computes bit-identical
+// CCIDs.
+func Instrument(sys *System) (*Program, error) {
+	return instrument.Rewrite(sys.Program(), sys.Coder())
+}
+
+// --- patches -----------------------------------------------------------------
+
+// Patch is a code-less heap patch {FUN, CCID, T}.
+type Patch = patch.Patch
+
+// PatchSet is a deduplicated patch collection; the online defense's
+// hash table is built from one.
+type PatchSet = patch.Set
+
+// TypeMask is the vulnerability-type bitmask.
+type TypeMask = patch.TypeMask
+
+// Vulnerability types.
+const (
+	// TypeOverflow covers overwrite and overread.
+	TypeOverflow = patch.TypeOverflow
+	// TypeUseAfterFree defers reuse of freed blocks.
+	TypeUseAfterFree = patch.TypeUseAfterFree
+	// TypeUninitRead zero-fills buffers at allocation.
+	TypeUninitRead = patch.TypeUninitRead
+)
+
+// NewPatchSet builds a patch set.
+func NewPatchSet(patches ...Patch) *PatchSet { return patch.NewSet(patches...) }
+
+// ReadPatchConfig parses a patch configuration file (patches are
+// written with PatchSet.WriteConfig).
+func ReadPatchConfig(r io.Reader) (*PatchSet, error) { return patch.ReadConfig(r) }
+
+// --- allocation API ------------------------------------------------------------
+
+// AllocFn identifies an allocation function.
+type AllocFn = heapsim.AllocFn
+
+// Allocation functions.
+const (
+	FnMalloc       = heapsim.FnMalloc
+	FnCalloc       = heapsim.FnCalloc
+	FnRealloc      = heapsim.FnRealloc
+	FnMemalign     = heapsim.FnMemalign
+	FnAlignedAlloc = heapsim.FnAlignedAlloc
+)
+
+// --- encoding -----------------------------------------------------------------
+
+// Scheme selects the instrumentation planner.
+type Scheme = encoding.Scheme
+
+// Planner schemes.
+const (
+	// SchemeFCS instruments every call site.
+	SchemeFCS = encoding.SchemeFCS
+	// SchemeTCS instruments target-reaching sites only.
+	SchemeTCS = encoding.SchemeTCS
+	// SchemeSlim prunes non-branching nodes.
+	SchemeSlim = encoding.SchemeSlim
+	// SchemeIncremental prunes false branching nodes (Algorithm 1).
+	SchemeIncremental = encoding.SchemeIncremental
+)
+
+// EncoderKind selects the encoding arithmetic.
+type EncoderKind = encoding.EncoderKind
+
+// Encoder kinds.
+const (
+	// EncoderPCC is probabilistic calling context (V = 3t + c).
+	EncoderPCC = encoding.EncoderPCC
+	// EncoderPCCE is precise additive encoding with decoding support.
+	EncoderPCCE = encoding.EncoderPCCE
+	// EncoderDeltaPath is additive with per-target ID ranges.
+	EncoderDeltaPath = encoding.EncoderDeltaPath
+)

@@ -1,0 +1,155 @@
+package callgraph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GenConfig parameterizes synthetic call-graph generation. The
+// generator produces layered, mostly-acyclic graphs whose shape knobs
+// map directly onto what the paper's optimizations exploit: how much of
+// the program can reach an allocation function (TCS), and how often
+// nodes branch toward targets (Slim/Incremental).
+type GenConfig struct {
+	// Funcs is the number of ordinary functions (targets are extra).
+	Funcs int
+	// Layers is the call-depth layering; functions are spread evenly.
+	Layers int
+	// FanOut is the average number of call sites per function.
+	FanOut float64
+	// Targets names the target functions (e.g. allocation APIs). Each
+	// becomes a node callable from alloc-calling functions.
+	Targets []string
+	// AllocCallerFrac is the fraction of functions that directly call a
+	// target. Lower values shrink the TCS instrumentation set.
+	AllocCallerFrac float64
+	// DupSiteFrac is the probability an added call site is duplicated
+	// (two static calls to the same callee), creating true branching
+	// nodes that Incremental must keep.
+	DupSiteFrac float64
+	// BackEdgeFrac is the probability of adding a cycle-forming edge
+	// (recursion), which the analyses must tolerate.
+	BackEdgeFrac float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Validate checks the configuration for consistency.
+func (c GenConfig) Validate() error {
+	if c.Funcs < 2 {
+		return fmt.Errorf("callgraph: GenConfig.Funcs = %d, need >= 2", c.Funcs)
+	}
+	if c.Layers < 2 || c.Layers > c.Funcs {
+		return fmt.Errorf("callgraph: GenConfig.Layers = %d, need in [2, Funcs]", c.Layers)
+	}
+	if len(c.Targets) == 0 {
+		return fmt.Errorf("callgraph: GenConfig.Targets is empty")
+	}
+	if c.FanOut <= 0 {
+		return fmt.Errorf("callgraph: GenConfig.FanOut = %v, need > 0", c.FanOut)
+	}
+	return nil
+}
+
+// Generate builds a synthetic call graph and returns it with the target
+// node IDs. The graph always has a single root named "main" in layer 0.
+func Generate(cfg GenConfig) (*Graph, []NodeID, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := NewBuilder()
+
+	// Assign functions to layers; f0 is main.
+	names := make([]string, cfg.Funcs)
+	layerOf := make([]int, cfg.Funcs)
+	names[0] = "main"
+	layerOf[0] = 0
+	b.AddFunc("main")
+	for i := 1; i < cfg.Funcs; i++ {
+		names[i] = fmt.Sprintf("f%03d", i)
+		// Spread across layers 1..Layers-1.
+		layerOf[i] = 1 + (i-1)*(cfg.Layers-1)/max(cfg.Funcs-1, 1)
+		b.AddFunc(names[i])
+	}
+	byLayer := make([][]int, cfg.Layers)
+	for i := 0; i < cfg.Funcs; i++ {
+		byLayer[layerOf[i]] = append(byLayer[layerOf[i]], i)
+	}
+
+	// Guarantee connectivity: every non-main function gets one incoming
+	// call from some function in an earlier layer.
+	for i := 1; i < cfg.Funcs; i++ {
+		l := layerOf[i]
+		caller := 0
+		if l > 1 {
+			prev := byLayer[l-1]
+			if len(prev) > 0 {
+				caller = prev[rng.Intn(len(prev))]
+			}
+		}
+		b.AddCall(names[caller], names[i])
+	}
+
+	// Add fan-out edges.
+	extra := int(cfg.FanOut*float64(cfg.Funcs)) - (cfg.Funcs - 1)
+	for e := 0; e < extra; e++ {
+		from := rng.Intn(cfg.Funcs)
+		fromLayer := layerOf[from]
+		if cfg.BackEdgeFrac > 0 && rng.Float64() < cfg.BackEdgeFrac && fromLayer > 1 {
+			// Back edge to an earlier-or-same layer function, but never
+			// into layer 0: main must remain the entry point.
+			cands := byLayer[1+rng.Intn(fromLayer)]
+			if len(cands) > 0 {
+				b.AddCall(names[from], names[cands[rng.Intn(len(cands))]])
+			}
+			continue
+		}
+		if fromLayer == cfg.Layers-1 {
+			continue // leaves get target edges below
+		}
+		toLayer := fromLayer + 1 + rng.Intn(cfg.Layers-1-fromLayer)
+		cands := byLayer[toLayer]
+		if len(cands) == 0 {
+			continue
+		}
+		to := cands[rng.Intn(len(cands))]
+		b.AddCall(names[from], names[to])
+		if rng.Float64() < cfg.DupSiteFrac {
+			b.AddCall(names[from], names[to]) // duplicate static site
+		}
+	}
+
+	// Target edges: a fraction of functions call an allocation API.
+	callers := 0
+	for i := 0; i < cfg.Funcs; i++ {
+		if rng.Float64() < cfg.AllocCallerFrac {
+			t := cfg.Targets[rng.Intn(len(cfg.Targets))]
+			b.AddCall(names[i], t)
+			callers++
+			if rng.Float64() < cfg.DupSiteFrac {
+				b.AddCall(names[i], t)
+			}
+		}
+	}
+	if callers == 0 {
+		// Ensure at least one allocation site exists.
+		b.AddCall(names[cfg.Funcs-1], cfg.Targets[0])
+	}
+
+	g := b.Build()
+	targets := make([]NodeID, 0, len(cfg.Targets))
+	for _, t := range cfg.Targets {
+		if id := g.NodeByName(t); id != InvalidNode {
+			targets = append(targets, id)
+		}
+	}
+	return g, targets, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,163 @@
+// Package ccprof is a calling-context profiler built on the encoding
+// machinery — a demonstration of the paper's point that calling-context
+// encoding "has been widely used in debugging, testing, anomaly
+// detection, event logging, performance optimization, and profiling"
+// (Section II-B), beyond its role in heap patching.
+//
+// The profiler wraps any heap backend, counts allocations and bytes per
+// {FUN, CCID}, and — when the bound encoder supports decoding — renders
+// the hottest allocation contexts symbolically. It is also what the
+// evaluation harness uses to select the paper's "median frequency"
+// hypothesized-vulnerable contexts for Figure 8.
+package ccprof
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"heaptherapy/internal/callgraph"
+	"heaptherapy/internal/encoding"
+	"heaptherapy/internal/heapsim"
+	"heaptherapy/internal/patch"
+	"heaptherapy/internal/prog"
+)
+
+// Sample aggregates one allocation context's activity.
+type Sample struct {
+	// Key is the {FUN, CCID} identity.
+	Key patch.Key
+	// Count is the number of allocations.
+	Count uint64
+	// Bytes is the total bytes requested.
+	Bytes uint64
+	// Context is the decoded call path ("" if the encoder cannot
+	// decode or the context is recursive).
+	Context string
+}
+
+// Profiler wraps a heap backend and records allocation contexts.
+type Profiler struct {
+	prog.HeapBackend
+	counts map[patch.Key]*Sample
+}
+
+var _ prog.HeapBackend = (*Profiler)(nil)
+
+// New wraps a backend with context profiling.
+func New(backend prog.HeapBackend) *Profiler {
+	return &Profiler{
+		HeapBackend: backend,
+		counts:      make(map[patch.Key]*Sample),
+	}
+}
+
+// Alloc implements prog.HeapBackend, recording the context.
+func (p *Profiler) Alloc(fn heapsim.AllocFn, ccid, n, size, align uint64) (uint64, error) {
+	total := size
+	if fn == heapsim.FnCalloc {
+		total = n * size
+	}
+	p.record(patch.Key{Fn: fn, CCID: ccid}, total)
+	return p.HeapBackend.Alloc(fn, ccid, n, size, align)
+}
+
+// Realloc implements prog.HeapBackend, recording the realloc context.
+func (p *Profiler) Realloc(ccid, ptr, size uint64) (uint64, error) {
+	p.record(patch.Key{Fn: heapsim.FnRealloc, CCID: ccid}, size)
+	return p.HeapBackend.Realloc(ccid, ptr, size)
+}
+
+func (p *Profiler) record(k patch.Key, bytes uint64) {
+	s, ok := p.counts[k]
+	if !ok {
+		s = &Sample{Key: k}
+		p.counts[k] = s
+	}
+	s.Count++
+	s.Bytes += bytes
+}
+
+// Samples returns the profile sorted by descending allocation count;
+// ties break by CCID for determinism.
+func (p *Profiler) Samples() []Sample {
+	out := make([]Sample, 0, len(p.counts))
+	for _, s := range p.counts {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key.CCID < out[j].Key.CCID
+	})
+	return out
+}
+
+// Symbolize fills each sample's Context using the coder's decoder and
+// the program's call graph. Samples that cannot decode keep "".
+func Symbolize(samples []Sample, p *prog.Program, coder *encoding.Coder) {
+	if coder == nil || !coder.Precise() {
+		return
+	}
+	g := p.Graph()
+	root := g.NodeByName(p.Entry)
+	if root == callgraph.InvalidNode {
+		return
+	}
+	for i := range samples {
+		target := g.NodeByName(samples[i].Key.Fn.String())
+		if target == callgraph.InvalidNode {
+			continue
+		}
+		path, err := coder.Decode(root, target, samples[i].Key.CCID)
+		if err != nil {
+			continue
+		}
+		parts := []string{p.Entry}
+		for _, s := range path {
+			parts = append(parts, g.Name(g.Edge(s).To))
+		}
+		samples[i].Context = strings.Join(parts, " -> ")
+	}
+}
+
+// Profile runs the program once with profiling over a native backend
+// factory-provided by the caller and returns the sorted, symbolized
+// profile.
+func Profile(p *prog.Program, backend prog.HeapBackend, coder *encoding.Coder, input []byte) ([]Sample, error) {
+	prof := New(backend)
+	it, err := prog.New(p, prog.Config{Backend: prof, Coder: coder})
+	if err != nil {
+		return nil, err
+	}
+	res, err := it.Run(input)
+	if err != nil {
+		return nil, fmt.Errorf("ccprof: profiling run: %w", err)
+	}
+	if res.Crashed() {
+		return nil, fmt.Errorf("ccprof: profiling run crashed: %v", res.Fault)
+	}
+	samples := prof.Samples()
+	Symbolize(samples, p, coder)
+	return samples, nil
+}
+
+// Render prints the top-n contexts as a table.
+func Render(samples []Sample, n int) string {
+	if n > len(samples) {
+		n = len(samples)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s %-12s %-10s %s\n", "count", "bytes", "fn", "context (ccid)")
+	for _, s := range samples[:n] {
+		ctx := s.Context
+		if ctx == "" {
+			ctx = fmt.Sprintf("ccid %#x", s.Key.CCID)
+		} else {
+			ctx = fmt.Sprintf("%s (%#x)", ctx, s.Key.CCID)
+		}
+		fmt.Fprintf(&sb, "%-8d %-12d %-10s %s\n", s.Count, s.Bytes, s.Key.Fn, ctx)
+	}
+	return sb.String()
+}

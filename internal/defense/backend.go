@@ -1,0 +1,103 @@
+package defense
+
+import (
+	"fmt"
+
+	"heaptherapy/internal/heapsim"
+	"heaptherapy/internal/mem"
+	"heaptherapy/internal/prog"
+)
+
+// Backend adapts the Defender to the interpreter's HeapBackend
+// interface: allocation traffic flows through the defense layer, and
+// ordinary loads and stores run against the protected address space,
+// where a guard-page hit faults exactly like SIGSEGV under the real
+// system.
+type Backend struct {
+	def    *Defender
+	space  *mem.Space
+	cycles uint64
+}
+
+var _ prog.HeapBackend = (*Backend)(nil)
+
+// NewBackend builds a defended execution backend in space.
+func NewBackend(space *mem.Space, cfg Config) (*Backend, error) {
+	d, err := New(space, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Backend{def: d, space: space}, nil
+}
+
+// Defender exposes the defense layer (for statistics).
+func (b *Backend) Defender() *Defender { return b.def }
+
+// Alloc implements prog.HeapBackend.
+func (b *Backend) Alloc(fn heapsim.AllocFn, ccid, n, size, align uint64) (uint64, error) {
+	switch fn {
+	case heapsim.FnMalloc:
+		return b.def.Malloc(ccid, size)
+	case heapsim.FnCalloc:
+		return b.def.Calloc(ccid, n, size)
+	case heapsim.FnMemalign, heapsim.FnAlignedAlloc:
+		return b.def.Memalign(ccid, align, size)
+	default:
+		return 0, fmt.Errorf("defense: Alloc with unsupported function %v", fn)
+	}
+}
+
+// Realloc implements prog.HeapBackend.
+func (b *Backend) Realloc(ccid, ptr, size uint64) (uint64, error) {
+	return b.def.Realloc(ccid, ptr, size)
+}
+
+// Free implements prog.HeapBackend.
+func (b *Backend) Free(ptr, _ uint64) error {
+	return b.def.Free(ptr)
+}
+
+// Load implements prog.HeapBackend; guard pages fault here.
+func (b *Backend) Load(addr, n, _ uint64) (prog.Value, error) {
+	b.cycles += prog.CycMemOp + n/prog.CycBytesPerCycle
+	data, err := b.space.Read(addr, n)
+	if err != nil {
+		return prog.Value{}, err
+	}
+	return prog.Value{Bytes: data}, nil
+}
+
+// Store implements prog.HeapBackend; guard pages fault here.
+func (b *Backend) Store(addr uint64, v prog.Value, _ uint64) error {
+	b.cycles += prog.CycMemOp + uint64(len(v.Bytes))/prog.CycBytesPerCycle
+	return b.space.Write(addr, v.Bytes)
+}
+
+// Memcpy implements prog.HeapBackend.
+func (b *Backend) Memcpy(dst, src, n, _ uint64) error {
+	b.cycles += prog.CycMemOp + n/prog.CycBytesPerCycle
+	return b.space.Memmove(dst, src, n)
+}
+
+// Memset implements prog.HeapBackend.
+func (b *Backend) Memset(addr uint64, c byte, n, _ uint64) error {
+	b.cycles += prog.CycMemOp + n/prog.CycBytesPerCycle
+	return b.space.Memset(addr, c, n)
+}
+
+// CheckUse implements prog.HeapBackend: online execution performs no
+// V-bit checking (that is offline analysis work).
+func (b *Backend) CheckUse(prog.Value, prog.UseKind, uint64) {}
+
+// Cycles implements prog.HeapBackend.
+func (b *Backend) Cycles() uint64 { return b.cycles + b.def.Cycles() }
+
+// NewBackendWithAllocator builds a defended execution backend over a
+// caller-supplied underlying allocator (see NewWithAllocator).
+func NewBackendWithAllocator(space *mem.Space, under heapsim.Allocator, cfg Config) (*Backend, error) {
+	d, err := NewWithAllocator(space, under, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Backend{def: d, space: space}, nil
+}

@@ -1,0 +1,131 @@
+package defense
+
+import (
+	"testing"
+
+	"heaptherapy/internal/analysis"
+	"heaptherapy/internal/encoding"
+	"heaptherapy/internal/mem"
+	"heaptherapy/internal/prog"
+)
+
+// mtProgram is a request handler with a use-after-free on its error
+// path: the freed object is regroomed by an attacker allocation and
+// then dereferenced.
+func mtProgram() *prog.Program {
+	const good, evil = 0x5AFE, 0xBAD
+	return prog.MustLink(&prog.Program{
+		Name: "mt-defended",
+		Funcs: map[string]*prog.Func{
+			"main": {Body: []prog.Stmt{
+				prog.Call{Callee: "serve"},
+			}},
+			"serve": {Body: []prog.Stmt{
+				prog.ReadInput{Dst: "kind", N: prog.C(1)},
+				prog.Alloc{Dst: "obj", Size: prog.C(96)},
+				prog.Store{Base: prog.V("obj"), Src: prog.C(good), N: prog.C(8)},
+				prog.If{Cond: prog.Eq(prog.And(prog.V("kind"), prog.C(0xFF)), prog.C(0xEE)), Then: []prog.Stmt{
+					// The bug: free, regroom, stale dereference.
+					prog.FreeStmt{Ptr: prog.V("obj")},
+					prog.Alloc{Dst: "groom", Size: prog.C(96)},
+					prog.Store{Base: prog.V("groom"), Src: prog.C(evil), N: prog.C(8)},
+					prog.Load{Dst: "h", Base: prog.V("obj"), N: prog.C(8)},
+					prog.FreeStmt{Ptr: prog.V("groom")},
+					prog.OutputVar{Src: "h"},
+					prog.Return{},
+				}},
+				prog.Load{Dst: "h", Base: prog.V("obj"), N: prog.C(8)},
+				prog.FreeStmt{Ptr: prog.V("obj")},
+				prog.OutputVar{Src: "h"},
+			}},
+		},
+	})
+}
+
+// TestDefenseUnderConcurrency runs a multithreaded server over ONE
+// defended heap: benign threads plus one whose request drives the
+// use-after-free, with the vulnerable context patched. The defense
+// must recognize the patched context in whichever thread it fires,
+// defer the block, and keep every other thread's behaviour intact —
+// the paper's Nginx/MySQL deployment scenario with thread-local V.
+func TestDefenseUnderConcurrency(t *testing.T) {
+	p := mtProgram()
+	plan, err := encoding.NewPlan(encoding.SchemeIncremental, p.Graph(), p.Targets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coder, err := encoding.NewCoder(encoding.EncoderPCC, p.Graph(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Offline: patch generation from the single-threaded replay.
+	a := &analysis.Analyzer{Coder: coder}
+	rep, err := a.Analyze(p, []byte{0xEE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Patches.Len() == 0 {
+		t.Fatalf("no patches from attack replay; warnings: %v", rep.Warnings)
+	}
+
+	// Sanity: undefended, the attack thread reads the groomed value.
+	space, err := mem.NewSpace(mem.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nat, err := prog.NewNativeBackend(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := [][]byte{{0x00}, {0xEE}, {0x00}, {0x00}}
+	natRes, err := prog.RunThreads(p, prog.Config{Backend: nat, Coder: coder}, inputs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := (prog.Value{Bytes: natRes[1].Output}).Uint(); got != 0xBAD {
+		t.Fatalf("undefended attack thread read %#x, want groomed 0xBAD", got)
+	}
+
+	// Online: defended, multithreaded, same patches.
+	dspace, err := mem.NewSpace(mem.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := NewBackend(dspace, Config{Patches: rep.Patches})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defRes, err := prog.RunThreads(p, prog.Config{Backend: db, Coder: coder}, inputs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range defRes {
+		if res.Crashed() {
+			t.Fatalf("thread %d crashed under defense: %v", i, res.Fault)
+		}
+	}
+	// The attack thread now reads the stale (safe) value, not EVIL.
+	if got := (prog.Value{Bytes: defRes[1].Output}).Uint(); got != 0x5AFE {
+		t.Errorf("defended attack thread read %#x, want stale 0x5AFE", got)
+	}
+	// Benign threads unchanged.
+	for _, i := range []int{0, 2, 3} {
+		if got := (prog.Value{Bytes: defRes[i].Output}).Uint(); got != 0x5AFE {
+			t.Errorf("benign thread %d read %#x, want 0x5AFE", i, got)
+		}
+	}
+	st := db.Defender().Stats()
+	// The patched allocation context fires in EVERY thread (same code
+	// path, same CCID thanks to thread-local V), so all four obj
+	// buffers are deferred; the groom buffer's context stays unpatched.
+	if st.DeferredFrees != 4 {
+		t.Errorf("DeferredFrees = %d, want 4 (one per thread's patched-context buffer)", st.DeferredFrees)
+	}
+	if st.PatchedAllocs != 4 {
+		t.Errorf("PatchedAllocs = %d, want 4", st.PatchedAllocs)
+	}
+	if err := db.Defender().Heap().CheckIntegrity(); err != nil {
+		t.Fatalf("defended shared heap integrity: %v", err)
+	}
+}

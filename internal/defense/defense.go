@@ -1,0 +1,646 @@
+// Package defense implements HeapTherapy+'s Online Defense Generator
+// (Section VI of the paper): the interposition layer that recognizes
+// vulnerable buffers by their allocation-time {FUN, CCID} and enhances
+// exactly those buffers.
+//
+// The paper ships this as an LD_PRELOAD shared library whose
+// constructor loads the patch configuration into a read-only hash
+// table and whose malloc/free definitions shadow libc's. Here the same
+// logic wraps the heapsim.Heap allocator behind the prog.HeapBackend
+// interface; as in the paper, the layer maintains all metadata itself
+// (in a word preceding each user buffer, Figure 6) and never touches
+// allocator internals.
+//
+// Buffer structures (Figure 6):
+//
+//	S1 plain:          [meta][user...]
+//	S2 guarded:        [meta][user...][pad][guard page]
+//	S3 aligned:        [...pad][meta][user (aligned)...]
+//	S4 aligned+guard:  [...pad][meta][user (aligned)...][pad][guard page]
+//
+// The 64-bit metadata word packs, from bit 0: a 4-bit buffer-type field
+// (OVERFLOW, UAF, UNINIT-READ, ALIGNED); then either the 48-bit user
+// size (S1/S3) or the 36-bit guard-page frame number (S2/S4, with the
+// user size stored in the guard page's first word instead); aligned
+// buffers add 6 bits of lg(alignment). Freeing follows Figure 7:
+// unprotect the guard if present, recover the underlying pointer from
+// the alignment info, then either defer the block through the FIFO
+// queue (UAF) or forward to the real free.
+package defense
+
+import (
+	"errors"
+	"fmt"
+
+	"heaptherapy/internal/heapsim"
+	"heaptherapy/internal/mem"
+	"heaptherapy/internal/patch"
+)
+
+// Metadata word field layout.
+const (
+	typeBits  = 4
+	typeMask  = (1 << typeBits) - 1
+	guardBits = 36 // 48-bit VA space minus 12 page bits
+	sizeBits  = 48
+	alignBits = 6
+
+	// Type-field bits, mirroring patch.TypeMask plus the aligned flag.
+	bitOverflow = 1 << 0
+	bitUAF      = 1 << 1
+	bitUninit   = 1 << 2
+	bitAligned  = 1 << 3
+
+	// freedSentinel marks the metadata word of a block parked in the
+	// deferred-free queue, so double frees are detected.
+	freedSentinel = uint64(0xFEED) << 48
+
+	metaSize = 8
+)
+
+// DefaultQueueQuota bounds the deferred-free FIFO (paper default: 2 GiB,
+// scaled to the simulation).
+const DefaultQueueQuota = 8 << 20
+
+// Mode selects how much of the defense pipeline runs; the evaluation's
+// Figure 8 separates these costs.
+type Mode uint8
+
+// Modes.
+const (
+	// ModeInterpose only forwards calls through the interposition
+	// layer: the "interposition only" bar of Figure 8.
+	ModeInterpose Mode = iota + 1
+	// ModeFull maintains per-buffer metadata and consults the patch
+	// table on every allocation: the deployed configuration.
+	ModeFull
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeInterpose:
+		return "interpose"
+	case ModeFull:
+		return "full"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Config configures the defense layer.
+type Config struct {
+	// Mode selects interposition-only or full metadata+patch operation
+	// (default ModeFull).
+	Mode Mode
+	// Patches is the loaded configuration (nil = no patches).
+	Patches *patch.Set
+	// QueueQuota bounds the deferred-free FIFO in bytes
+	// (0 = DefaultQueueQuota).
+	QueueQuota uint64
+}
+
+// Stats counts defense activity.
+type Stats struct {
+	// Allocs is the number of allocation calls intercepted.
+	Allocs uint64
+	// Lookups is the number of patch-table probes (one per allocation
+	// in ModeFull).
+	Lookups uint64
+	// PatchedAllocs is the number of allocations recognized as
+	// vulnerable.
+	PatchedAllocs uint64
+	// GuardPages is the number of guard pages installed.
+	GuardPages uint64
+	// ZeroFills is the number of buffers zero-initialized.
+	ZeroFills uint64
+	// DeferredFrees counts blocks parked in the FIFO queue.
+	DeferredFrees uint64
+	// QueueEvictions counts blocks released to the allocator when the
+	// quota forced them out.
+	QueueEvictions uint64
+	// QueueBytes is the current queue occupancy.
+	QueueBytes uint64
+	// Frees counts free() calls intercepted.
+	Frees uint64
+}
+
+// Errors.
+var (
+	// ErrDoubleFree reports a free of a block already in the deferred
+	// queue; the defense aborts like a hardened allocator would.
+	ErrDoubleFree = errors.New("defense: double free of deferred block")
+)
+
+// queued is one deferred-free entry.
+type queued struct {
+	base uint64 // underlying pointer to hand to the real free
+	user uint64
+	size uint64
+}
+
+// Defender is the online defense layer over an underlying allocator.
+type Defender struct {
+	under heapsim.Allocator
+	heap  *heapsim.Heap // set when the default allocator backs `under`
+	space *mem.Space
+	cfg   Config
+	table *patchTable // the read-only in-memory patch hash table
+
+	queue      []queued
+	queueBytes uint64
+
+	stats  Stats
+	cycles uint64
+}
+
+// New creates a defense layer over a fresh heap in space. Loading the
+// patch set corresponds to the shared library's constructor reading
+// the configuration file; after construction the table is never
+// mutated, mirroring the paper's read-only remapping of its pages.
+// The table is mapped BEFORE the heap arena so the arena remains the
+// space's only growing segment (as a real constructor runs before any
+// application allocation).
+func New(space *mem.Space, cfg Config) (*Defender, error) {
+	if cfg.Mode == 0 {
+		cfg.Mode = ModeFull
+	}
+	if cfg.QueueQuota == 0 {
+		cfg.QueueQuota = DefaultQueueQuota
+	}
+	d := &Defender{space: space, cfg: cfg}
+	if cfg.Mode == ModeFull {
+		set := cfg.Patches
+		if set == nil {
+			set = patch.NewSet()
+		}
+		table, err := newPatchTable(space, set)
+		if err != nil {
+			return nil, err
+		}
+		d.table = table
+	}
+	h, err := heapsim.New(space)
+	if err != nil {
+		return nil, fmt.Errorf("defense: creating heap: %w", err)
+	}
+	d.heap = h
+	d.under = h
+	return d, nil
+}
+
+// NewWithAllocator creates a defense layer over a caller-supplied
+// underlying allocator — property (5) of the paper: the defense is
+// transparent to the allocator beneath it and never touches its
+// internals. The allocator must be backed by the same space (for guard
+// pages and the patch table).
+func NewWithAllocator(space *mem.Space, under heapsim.Allocator, cfg Config) (*Defender, error) {
+	if cfg.Mode == 0 {
+		cfg.Mode = ModeFull
+	}
+	if cfg.QueueQuota == 0 {
+		cfg.QueueQuota = DefaultQueueQuota
+	}
+	d := &Defender{space: space, cfg: cfg, under: under}
+	if cfg.Mode == ModeFull {
+		set := cfg.Patches
+		if set == nil {
+			set = patch.NewSet()
+		}
+		table, err := newPatchTable(space, set)
+		if err != nil {
+			return nil, err
+		}
+		d.table = table
+	}
+	return d, nil
+}
+
+// PatchTableWritable reports whether the loaded patch table's pages
+// are writable; after construction this must be false (the paper's
+// read-only remapping).
+func (d *Defender) PatchTableWritable() bool {
+	return d.table != nil && d.table.writable()
+}
+
+// Heap exposes the default underlying allocator for statistics; nil
+// when the Defender was built over a custom allocator.
+func (d *Defender) Heap() *heapsim.Heap { return d.heap }
+
+// Underlying exposes the allocator beneath the defense.
+func (d *Defender) Underlying() heapsim.Allocator { return d.under }
+
+// Stats returns a snapshot of defense statistics.
+func (d *Defender) Stats() Stats {
+	s := d.stats
+	s.QueueBytes = d.queueBytes
+	return s
+}
+
+// Malloc allocates size bytes under calling context ccid.
+func (d *Defender) Malloc(ccid, size uint64) (uint64, error) {
+	return d.allocate(heapsim.FnMalloc, ccid, size, 0, false)
+}
+
+// Calloc allocates n*size zeroed bytes under ccid.
+func (d *Defender) Calloc(ccid, n, size uint64) (uint64, error) {
+	if size != 0 && n > (1<<sizeBits)/size {
+		return 0, fmt.Errorf("%w: calloc(%d, %d)", heapsim.ErrBadSize, n, size)
+	}
+	p, err := d.allocate(heapsim.FnCalloc, ccid, n*size, 0, false)
+	if err != nil {
+		return 0, err
+	}
+	if d.cfg.Mode == ModeFull {
+		// The zero fill may already have happened via a patch; calloc
+		// semantics demand it regardless.
+		if err := d.space.RawMemset(p, 0, n*size); err != nil {
+			return 0, fmt.Errorf("defense: calloc zero fill: %w", err)
+		}
+	}
+	return p, nil
+}
+
+// Memalign allocates size bytes aligned to align under ccid.
+func (d *Defender) Memalign(ccid, align, size uint64) (uint64, error) {
+	if align == 0 || align&(align-1) != 0 {
+		return 0, fmt.Errorf("%w: %d", heapsim.ErrBadAlignment, align)
+	}
+	return d.allocate(heapsim.FnMemalign, ccid, size, align, false)
+}
+
+// allocate is the interposition entry point for all allocation APIs.
+func (d *Defender) allocate(fn heapsim.AllocFn, ccid, size, align uint64, isRealloc bool) (uint64, error) {
+	d.stats.Allocs++
+	// The underlying allocator's own work plus the interposition hop.
+	d.cycles += cycUnderlyingAlloc + cycInterpose
+
+	if d.cfg.Mode == ModeInterpose {
+		// Forward-only: measure pure interposition cost.
+		switch fn {
+		case heapsim.FnCalloc:
+			return d.under.Calloc(1, size)
+		case heapsim.FnMemalign, heapsim.FnAlignedAlloc:
+			return d.under.Memalign(align, size)
+		default:
+			return d.under.Malloc(size)
+		}
+	}
+
+	if size >= 1<<sizeBits {
+		return 0, fmt.Errorf("%w: %d", heapsim.ErrBadSize, size)
+	}
+
+	// O(1) patch lookup on every allocation.
+	lookupFn := fn
+	if isRealloc {
+		lookupFn = heapsim.FnRealloc
+	}
+	d.stats.Lookups++
+	types, probes := d.table.lookup(patch.Key{Fn: lookupFn, CCID: ccid})
+	d.cycles += cycLookup * uint64(probes)
+	if types != 0 {
+		d.stats.PatchedAllocs++
+	}
+
+	d.cycles += cycMetadata
+	aligned := align > metaSize
+	var p uint64
+	var err error
+	switch {
+	case !aligned && !types.Has(patch.TypeOverflow):
+		p, err = d.allocS1(fn, size)
+	case !aligned && types.Has(patch.TypeOverflow):
+		p, err = d.allocS2(fn, size)
+	case aligned && !types.Has(patch.TypeOverflow):
+		p, err = d.allocS3(fn, size, align)
+	default:
+		p, err = d.allocS4(fn, size, align)
+	}
+	if err != nil {
+		return 0, err
+	}
+
+	// Record the remaining type bits into the metadata word.
+	if err := d.orTypeBits(p, typeFieldBits(types, aligned)); err != nil {
+		return 0, err
+	}
+
+	if types.Has(patch.TypeUninitRead) {
+		d.stats.ZeroFills++
+		d.cycles += size / prog0CycBytesPerCycle
+		if err := d.space.RawMemset(p, 0, size); err != nil {
+			return 0, fmt.Errorf("defense: zero fill: %w", err)
+		}
+	}
+	return p, nil
+}
+
+// typeFieldBits converts a patch mask (+ alignment) to metadata bits.
+func typeFieldBits(types patch.TypeMask, aligned bool) uint64 {
+	var b uint64
+	if types.Has(patch.TypeOverflow) {
+		b |= bitOverflow
+	}
+	if types.Has(patch.TypeUseAfterFree) {
+		b |= bitUAF
+	}
+	if types.Has(patch.TypeUninitRead) {
+		b |= bitUninit
+	}
+	if aligned {
+		b |= bitAligned
+	}
+	return b
+}
+
+// orTypeBits merges type bits into an existing metadata word.
+func (d *Defender) orTypeBits(user uint64, bits uint64) error {
+	meta, err := d.space.RawLoad64(user - metaSize)
+	if err != nil {
+		return fmt.Errorf("defense: metadata read: %w", err)
+	}
+	return d.space.RawStore64(user-metaSize, meta|bits)
+}
+
+// allocS1 builds Structure 1: [meta][user], size in the metadata word.
+func (d *Defender) allocS1(fn heapsim.AllocFn, size uint64) (uint64, error) {
+	base, err := d.underlying(fn, metaSize+size, 0)
+	if err != nil {
+		return 0, err
+	}
+	user := base + metaSize
+	meta := size << typeBits
+	if err := d.space.RawStore64(base, meta); err != nil {
+		return 0, fmt.Errorf("defense: metadata store: %w", err)
+	}
+	return user, nil
+}
+
+// allocS2 builds Structure 2: [meta][user][pad][guard]; the guard-page
+// frame lives in the metadata word and the user size in the guard
+// page's first word.
+func (d *Defender) allocS2(fn heapsim.AllocFn, size uint64) (uint64, error) {
+	need := metaSize + size + (mem.PageSize - 1) + mem.PageSize
+	base, err := d.underlying(fn, need, 0)
+	if err != nil {
+		return 0, err
+	}
+	user := base + metaSize
+	guard := mem.PageAlignUp(user + size)
+	if err := d.installGuard(user, guard, size); err != nil {
+		return 0, err
+	}
+	return user, nil
+}
+
+// allocS3 builds Structure 3: [pad][meta][user aligned]; lg(align) and
+// the size live in the metadata word.
+func (d *Defender) allocS3(fn heapsim.AllocFn, size, align uint64) (uint64, error) {
+	base, err := d.underlying(fn, align+size, align)
+	if err != nil {
+		return 0, err
+	}
+	user := base + align
+	meta := size<<typeBits | lg(align)<<(typeBits+sizeBits)
+	if err := d.space.RawStore64(user-metaSize, meta); err != nil {
+		return 0, fmt.Errorf("defense: metadata store: %w", err)
+	}
+	return user, nil
+}
+
+// allocS4 builds Structure 4: [pad][meta][user aligned][pad][guard].
+func (d *Defender) allocS4(fn heapsim.AllocFn, size, align uint64) (uint64, error) {
+	need := align + size + (mem.PageSize - 1) + mem.PageSize
+	base, err := d.underlying(fn, need, align)
+	if err != nil {
+		return 0, err
+	}
+	user := base + align
+	guard := mem.PageAlignUp(user + size)
+	if err := d.installGuard(user, guard, size); err != nil {
+		return 0, err
+	}
+	if err := d.orTypeBits(user, lg(align)<<(typeBits+guardBits)); err != nil {
+		return 0, err
+	}
+	return user, nil
+}
+
+// installGuard writes the guard-style metadata word, stashes the user
+// size in the guard page's first word, and protects the page.
+func (d *Defender) installGuard(user, guard, size uint64) error {
+	meta := (guard >> mem.PageShift) << typeBits
+	if err := d.space.RawStore64(user-metaSize, meta); err != nil {
+		return fmt.Errorf("defense: metadata store: %w", err)
+	}
+	if err := d.space.RawStore64(guard, size); err != nil {
+		return fmt.Errorf("defense: guard size store: %w", err)
+	}
+	if err := d.space.Mprotect(guard, mem.PageSize, mem.ProtNone); err != nil {
+		return fmt.Errorf("defense: protecting guard page: %w", err)
+	}
+	d.stats.GuardPages++
+	d.cycles += cycMprotect
+	return nil
+}
+
+// underlying forwards the enlarged request to the real allocator.
+func (d *Defender) underlying(fn heapsim.AllocFn, size, align uint64) (uint64, error) {
+	if align > 0 {
+		return d.under.Memalign(align, size)
+	}
+	switch fn {
+	case heapsim.FnCalloc:
+		// The defense zeroes the user region itself when required;
+		// requesting raw memory here avoids double zeroing of the
+		// metadata slack.
+		return d.under.Malloc(size)
+	default:
+		return d.under.Malloc(size)
+	}
+}
+
+// meta describes a decoded metadata word.
+type metaInfo struct {
+	types   uint64 // 4-bit type field
+	size    uint64
+	base    uint64 // underlying pointer (pi in Figure 7)
+	guard   uint64 // guard page address, 0 if none
+	aligned bool
+}
+
+// decodeMeta reconstructs buffer facts from the metadata word,
+// unprotecting the guard page if one exists (step 1 of Figure 7).
+func (d *Defender) decodeMeta(user uint64) (metaInfo, error) {
+	word, err := d.space.RawLoad64(user - metaSize)
+	if err != nil {
+		return metaInfo{}, fmt.Errorf("defense: metadata read at %#x: %w", user-metaSize, err)
+	}
+	if word&freedSentinel == freedSentinel && word>>typeBits != 0 {
+		return metaInfo{}, fmt.Errorf("%w: %#x", ErrDoubleFree, user)
+	}
+	mi := metaInfo{types: word & typeMask}
+	mi.aligned = mi.types&bitAligned != 0
+
+	if mi.types&bitOverflow != 0 {
+		frame := (word >> typeBits) & ((1 << guardBits) - 1)
+		mi.guard = frame << mem.PageShift
+		if err := d.space.Mprotect(mi.guard, mem.PageSize, mem.ProtRW); err != nil {
+			return metaInfo{}, fmt.Errorf("defense: unprotecting guard: %w", err)
+		}
+		d.cycles += cycMprotect
+		sz, err := d.space.RawLoad64(mi.guard)
+		if err != nil {
+			return metaInfo{}, fmt.Errorf("defense: guard size read: %w", err)
+		}
+		mi.size = sz
+		if mi.aligned {
+			la := (word >> (typeBits + guardBits)) & ((1 << alignBits) - 1)
+			mi.base = user - (uint64(1) << la)
+		} else {
+			mi.base = user - metaSize
+		}
+		return mi, nil
+	}
+
+	mi.size = (word >> typeBits) & ((1 << sizeBits) - 1)
+	if mi.aligned {
+		la := (word >> (typeBits + sizeBits)) & ((1 << alignBits) - 1)
+		mi.base = user - (uint64(1) << la)
+	} else {
+		mi.base = user - metaSize
+	}
+	return mi, nil
+}
+
+// Free releases a buffer following the Figure 7 protocol.
+func (d *Defender) Free(user uint64) error {
+	if user == 0 {
+		return nil
+	}
+	d.stats.Frees++
+	d.cycles += cycUnderlyingFree + cycInterpose
+	if d.cfg.Mode == ModeInterpose {
+		return d.under.Free(user)
+	}
+	d.cycles += cycMetadata // decode the metadata word, recover pi
+	mi, err := d.decodeMeta(user)
+	if err != nil {
+		return err
+	}
+	if mi.types&bitUAF != 0 {
+		// Defer reuse: park the block in the FIFO queue. Mark the
+		// metadata so a double free is caught.
+		if err := d.space.RawStore64(user-metaSize, freedSentinel|mi.types); err != nil {
+			return fmt.Errorf("defense: marking deferred block: %w", err)
+		}
+		d.queue = append(d.queue, queued{base: mi.base, user: user, size: mi.size})
+		d.queueBytes += mi.size
+		d.stats.DeferredFrees++
+		d.cycles += cycQueue
+		for d.queueBytes > d.cfg.QueueQuota && len(d.queue) > 0 {
+			old := d.queue[0]
+			d.queue = d.queue[1:]
+			d.queueBytes -= old.size
+			d.stats.QueueEvictions++
+			if err := d.under.Free(old.base); err != nil {
+				return fmt.Errorf("defense: releasing deferred block: %w", err)
+			}
+		}
+		return nil
+	}
+	return d.under.Free(mi.base)
+}
+
+// Realloc resizes a defended buffer. Per Section V, the buffer's CCID
+// is updated to the realloc call's context, so the patch lookup uses
+// {realloc, ccid}; metadata bookkeeping forces the allocate-copy-free
+// path, as the paper's self-contained metadata design does.
+func (d *Defender) Realloc(ccid, user, size uint64) (uint64, error) {
+	if user == 0 {
+		return d.allocate(heapsim.FnRealloc, ccid, size, 0, true)
+	}
+	if d.cfg.Mode == ModeInterpose {
+		d.stats.Allocs++
+		d.cycles += cycUnderlyingAlloc + cycInterpose
+		return d.under.Realloc(user, size)
+	}
+	mi, err := d.decodeMeta(user)
+	if err != nil {
+		return 0, err
+	}
+	newUser, err := d.allocate(heapsim.FnMalloc, ccid, size, 0, true)
+	if err != nil {
+		return 0, err
+	}
+	n := mi.size
+	if size < n {
+		n = size
+	}
+	data, err := d.space.RawRead(user, n)
+	if err != nil {
+		return 0, fmt.Errorf("defense: realloc copy: %w", err)
+	}
+	if err := d.space.RawWrite(newUser, data); err != nil {
+		return 0, fmt.Errorf("defense: realloc copy: %w", err)
+	}
+	// Re-protect path: decodeMeta unprotected the guard; Free will
+	// decode again, so restore the sentinel-free word first.
+	if mi.guard != 0 {
+		if err := d.space.Mprotect(mi.guard, mem.PageSize, mem.ProtNone); err != nil {
+			return 0, fmt.Errorf("defense: realloc reprotect: %w", err)
+		}
+	}
+	if err := d.Free(user); err != nil {
+		return 0, fmt.Errorf("defense: realloc free: %w", err)
+	}
+	d.stats.Frees-- // internal bookkeeping, not a user free
+	return newUser, nil
+}
+
+// UsableSize reports the user size of a defended buffer.
+func (d *Defender) UsableSize(user uint64) (uint64, error) {
+	if d.cfg.Mode == ModeInterpose {
+		return d.under.UsableSize(user)
+	}
+	mi, err := d.decodeMeta(user)
+	if err != nil {
+		return 0, err
+	}
+	if mi.guard != 0 {
+		// decodeMeta unprotected the guard to read the size; restore.
+		if err := d.space.Mprotect(mi.guard, mem.PageSize, mem.ProtNone); err != nil {
+			return 0, fmt.Errorf("defense: reprotecting guard: %w", err)
+		}
+	}
+	return mi.size, nil
+}
+
+// Cycles returns accumulated virtual-cycle cost of defense work.
+func (d *Defender) Cycles() uint64 { return d.cycles }
+
+// lg returns floor(log2(x)) for x > 0.
+func lg(x uint64) uint64 {
+	var n uint64
+	for x > 1 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// Virtual-cycle costs of defense mechanisms. cycUnderlyingAlloc and
+// cycUnderlyingFree mirror prog.CycAlloc/CycFree: the real allocator's
+// work happens beneath the interposition layer either way, so defended
+// and native executions charge the same base and differ only by the
+// defense's additions — exactly how the paper decomposes Figure 8.
+const (
+	cycUnderlyingAlloc    = 60
+	cycUnderlyingFree     = 40
+	cycInterpose          = 2
+	cycLookup             = 3
+	cycMetadata           = 3
+	cycMprotect           = 300
+	cycQueue              = 8
+	prog0CycBytesPerCycle = 16 // zero-fill bandwidth, matches prog.CycBytesPerCycle
+)

@@ -1,0 +1,88 @@
+package encoding
+
+import (
+	"fmt"
+
+	"heaptherapy/internal/callgraph"
+)
+
+// Instruction-size model for the instrumentation, in bytes of x86-64
+// code, used to reproduce Table III's binary-size-increase comparison.
+// A prologue reads the thread-local V into a local t (one mov); an
+// instrumented call site computes V = Update(t, c) before the call and
+// restores V = t after it.
+const (
+	// PrologueBytes is the per-function cost of reading V into t; paid
+	// by every function that contains at least one instrumented site.
+	PrologueBytes = 8
+	// SiteBytesPCC is the per-site cost of lea/imul+add plus the
+	// restoring mov for the multiplicative PCC update.
+	SiteBytesPCC = 14
+	// SiteBytesAdditive is the per-site cost of add/sub (PCCE,
+	// DeltaPath).
+	SiteBytesAdditive = 10
+)
+
+// CostReport summarizes the static footprint of an instrumentation
+// plan over a program whose function sizes are known.
+type CostReport struct {
+	// Scheme is the planner that produced the plan.
+	Scheme Scheme
+	// TotalSites is the number of call sites in the program.
+	TotalSites int
+	// InstrumentedSites is the number of sites the plan instruments.
+	InstrumentedSites int
+	// InstrumentedFuncs is the number of functions needing a prologue.
+	InstrumentedFuncs int
+	// BaseBytes is the uninstrumented program size.
+	BaseBytes uint64
+	// AddedBytes is the instrumentation code size.
+	AddedBytes uint64
+}
+
+// SizeIncreasePercent returns the binary-size increase as a percentage
+// of the base size, the quantity Table III reports.
+func (r CostReport) SizeIncreasePercent() float64 {
+	if r.BaseBytes == 0 {
+		return 0
+	}
+	return 100 * float64(r.AddedBytes) / float64(r.BaseBytes)
+}
+
+func (r CostReport) String() string {
+	return fmt.Sprintf("%s: %d/%d sites, %d funcs, +%d B (%.2f%%)",
+		r.Scheme, r.InstrumentedSites, r.TotalSites, r.InstrumentedFuncs,
+		r.AddedBytes, r.SizeIncreasePercent())
+}
+
+// Cost computes the static cost of plan for a program whose function
+// body sizes (bytes) are given per node; funcSize may be nil, in which
+// case a uniform default size is assumed.
+func Cost(g *callgraph.Graph, plan *Plan, kind EncoderKind, funcSize func(callgraph.NodeID) uint64) CostReport {
+	const defaultFuncBytes = 512
+	siteBytes := uint64(SiteBytesAdditive)
+	if kind == EncoderPCC {
+		siteBytes = SiteBytesPCC
+	}
+
+	r := CostReport{
+		Scheme:            plan.Scheme,
+		TotalSites:        g.NumEdges(),
+		InstrumentedSites: plan.NumSites(),
+	}
+	withSites := make(map[callgraph.NodeID]bool)
+	for s := range plan.Sites {
+		withSites[g.Edge(s).From] = true
+	}
+	r.InstrumentedFuncs = len(withSites)
+
+	for n := 0; n < g.NumNodes(); n++ {
+		sz := uint64(defaultFuncBytes)
+		if funcSize != nil {
+			sz = funcSize(callgraph.NodeID(n))
+		}
+		r.BaseBytes += sz
+	}
+	r.AddedBytes = uint64(r.InstrumentedFuncs)*PrologueBytes + uint64(r.InstrumentedSites)*siteBytes
+	return r
+}

@@ -1,0 +1,196 @@
+// Package encoding implements calling-context encoding and the paper's
+// targeted calling-context encoding optimizations (Section IV).
+//
+// A calling-context encoding scheme has two independent axes:
+//
+//   - the *planner* decides WHICH call sites are instrumented:
+//     FCS (all sites, as in the original PCC/PCCE/DeltaPath papers),
+//     TCS (only sites that can reach a target function),
+//     Slim (TCS minus sites in non-branching nodes), and
+//     Incremental (only sites in true branching nodes, Algorithm 1);
+//
+//   - the *encoder* decides HOW an instrumented site updates the
+//     thread-local context value V: PCC uses the multiplicative hash
+//     V = 3*t + c, PCCE-style encoding uses precise additive constants
+//     from Ball-Larus path numbering (and supports decoding), and the
+//     DeltaPath-style encoder uses additive constants in per-target
+//     disjoint ranges.
+//
+// Update discipline. This implementation maintains the invariant that,
+// at every program point, V encodes exactly the instrumented edges on
+// the *current* call stack: each function reads t = V at its prologue,
+// sets V = Update(t, c) before an instrumented call, and restores V = t
+// when that call returns. PCC as published instead recomputes V at
+// every call site and never restores; that is equivalent under full
+// instrumentation but becomes execution-order dependent once sites are
+// pruned (a completed call into an instrumented subtree would leave a
+// stale V behind for a later pruned site). The restore discipline — one
+// extra move per instrumented site, exactly PCCE's +c/-c pattern —
+// keeps every scheme deterministic under all four planners.
+package encoding
+
+import (
+	"fmt"
+	"sort"
+
+	"heaptherapy/internal/callgraph"
+)
+
+// Scheme enumerates the instrumentation planners.
+type Scheme uint8
+
+// Planner schemes, in increasing order of optimization.
+const (
+	// SchemeFCS instruments every call site (Full-Call-Site, the
+	// baseline used by PCC/PCCE/DeltaPath).
+	SchemeFCS Scheme = iota + 1
+	// SchemeTCS instruments only target-reaching call sites.
+	SchemeTCS
+	// SchemeSlim additionally prunes sites in non-branching nodes.
+	SchemeSlim
+	// SchemeIncremental instruments only sites in true branching nodes,
+	// distinguishing contexts by the {TargetFn, CCID} pair.
+	SchemeIncremental
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case SchemeFCS:
+		return "FCS"
+	case SchemeTCS:
+		return "TCS"
+	case SchemeSlim:
+		return "Slim"
+	case SchemeIncremental:
+		return "Incremental"
+	default:
+		return fmt.Sprintf("Scheme(%d)", uint8(s))
+	}
+}
+
+// AllSchemes lists the planners in evaluation order.
+func AllSchemes() []Scheme {
+	return []Scheme{SchemeFCS, SchemeTCS, SchemeSlim, SchemeIncremental}
+}
+
+// ParseScheme parses a scheme name (case sensitive, as printed).
+func ParseScheme(s string) (Scheme, error) {
+	for _, sc := range AllSchemes() {
+		if sc.String() == s {
+			return sc, nil
+		}
+	}
+	return 0, fmt.Errorf("encoding: unknown scheme %q", s)
+}
+
+// Plan is the result of instrumentation planning: the set of call sites
+// to instrument for a given graph and target set.
+type Plan struct {
+	// Scheme is the planner that produced this plan.
+	Scheme Scheme
+	// Targets are the functions whose calling contexts are of interest
+	// (the allocation APIs, for HeapTherapy+).
+	Targets []callgraph.NodeID
+	// Sites is the instrumented call-site set.
+	Sites map[callgraph.SiteID]bool
+}
+
+// Instrumented reports whether site s is instrumented under this plan.
+func (p *Plan) Instrumented(s callgraph.SiteID) bool { return p.Sites[s] }
+
+// NumSites returns the size of the instrumentation set.
+func (p *Plan) NumSites() int { return len(p.Sites) }
+
+// SiteLabels renders the instrumented sites as sorted labels; used in
+// tests and the planner CLI.
+func (p *Plan) SiteLabels(g *callgraph.Graph) []string {
+	labels := make([]string, 0, len(p.Sites))
+	for _, s := range callgraph.SortedSites(p.Sites) {
+		labels = append(labels, g.SiteLabel(s))
+	}
+	sort.Strings(labels)
+	return labels
+}
+
+// NewPlan runs the given planner scheme over the graph.
+func NewPlan(scheme Scheme, g *callgraph.Graph, targets []callgraph.NodeID) (*Plan, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("encoding: no target functions given")
+	}
+	p := &Plan{Scheme: scheme, Targets: append([]callgraph.NodeID(nil), targets...)}
+	switch scheme {
+	case SchemeFCS:
+		p.Sites = planFCS(g)
+	case SchemeTCS:
+		p.Sites = g.TargetReachingSites(targets)
+	case SchemeSlim:
+		p.Sites = planSlim(g, targets)
+	case SchemeIncremental:
+		p.Sites = planIncremental(g, targets)
+	default:
+		return nil, fmt.Errorf("encoding: unknown scheme %v", scheme)
+	}
+	return p, nil
+}
+
+// planFCS instruments every call site, as PCC, PCCE, and DeltaPath do.
+func planFCS(g *callgraph.Graph) map[callgraph.SiteID]bool {
+	set := make(map[callgraph.SiteID]bool, g.NumEdges())
+	for s := 0; s < g.NumEdges(); s++ {
+		set[callgraph.SiteID(s)] = true
+	}
+	return set
+}
+
+// planSlim keeps only target-reaching sites whose containing function
+// is a branching node: one with two or more target-reaching out-edges
+// (Section IV-B). Sites in non-branching nodes cannot affect the
+// distinguishability of encodings, because between two instrumented
+// sites the path through non-branching nodes is unique.
+func planSlim(g *callgraph.Graph, targets []callgraph.NodeID) map[callgraph.SiteID]bool {
+	tcs := g.TargetReachingSites(targets)
+	reachingOut := make([]int, g.NumNodes())
+	for s := range tcs {
+		reachingOut[g.Edge(s).From]++
+	}
+	set := make(map[callgraph.SiteID]bool)
+	for s := range tcs {
+		if reachingOut[g.Edge(s).From] >= 2 {
+			set[s] = true
+		}
+	}
+	return set
+}
+
+// planIncremental implements Algorithm 1 of the paper. Because the
+// interception function already knows WHICH target was invoked,
+// contexts are distinguished by the pair {TargetFn, CCID}; therefore a
+// node needs instrumentation only if it is a *true* branching node for
+// some single target t: two or more of its out-edges reach that same t.
+// False branching nodes — whose target-reaching edges each lead to a
+// different target — are pruned.
+func planIncremental(g *callgraph.Graph, targets []callgraph.NodeID) map[callgraph.SiteID]bool {
+	set := make(map[callgraph.SiteID]bool)
+	for _, t := range targets {
+		// Backward BFS from t (Lines 4-10 of Algorithm 1); the visited
+		// check handles back edges.
+		reaches := g.ReachesTargets([]callgraph.NodeID{t})
+		// For each node, collect its out-edges that reach t
+		// (Lines 11-17); instrument them if there are two or more.
+		perNode := make(map[callgraph.NodeID][]callgraph.SiteID)
+		for s := 0; s < g.NumEdges(); s++ {
+			e := g.Edge(callgraph.SiteID(s))
+			if reaches[e.To] {
+				perNode[e.From] = append(perNode[e.From], e.ID)
+			}
+		}
+		for _, edges := range perNode {
+			if len(edges) > 1 {
+				for _, s := range edges {
+					set[s] = true
+				}
+			}
+		}
+	}
+	return set
+}

@@ -1,0 +1,218 @@
+package encoding
+
+import (
+	"reflect"
+	"testing"
+
+	"heaptherapy/internal/callgraph"
+)
+
+func mustPlan(t *testing.T, scheme Scheme, g *callgraph.Graph, targets []callgraph.NodeID) *Plan {
+	t.Helper()
+	p, err := NewPlan(scheme, g, targets)
+	if err != nil {
+		t.Fatalf("NewPlan(%v): %v", scheme, err)
+	}
+	return p
+}
+
+// TestFigure2Plans locks in the exact instrumentation sets the paper
+// derives for its Figure 2 example graph.
+func TestFigure2Plans(t *testing.T) {
+	g, targets := callgraph.Figure2()
+
+	cases := []struct {
+		scheme Scheme
+		want   []string
+	}{
+		{SchemeFCS, []string{
+			"A->B#0", "A->C#0", "B->T1#0", "C->E#0", "C->F#0",
+			"D->H#0", "E->T2#0", "F->T1#0", "F->T2#0", "H->I#0",
+		}},
+		{SchemeTCS, []string{
+			"A->B#0", "A->C#0", "B->T1#0", "C->E#0", "C->F#0",
+			"E->T2#0", "F->T1#0", "F->T2#0",
+		}},
+		{SchemeSlim, []string{
+			"A->B#0", "A->C#0", "C->E#0", "C->F#0", "F->T1#0", "F->T2#0",
+		}},
+		{SchemeIncremental, []string{
+			"A->B#0", "A->C#0", "C->E#0", "C->F#0",
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.scheme.String(), func(t *testing.T) {
+			p := mustPlan(t, c.scheme, g, targets)
+			got := p.SiteLabels(g)
+			if !reflect.DeepEqual(got, c.want) {
+				t.Errorf("%v plan = %v, want %v", c.scheme, got, c.want)
+			}
+		})
+	}
+}
+
+// TestPlanMonotonicity checks FCS ⊇ TCS ⊇ Slim ⊇ Incremental on random
+// graphs: each optimization only removes instrumentation.
+func TestPlanMonotonicity(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		g, targets, err := callgraph.Generate(callgraph.GenConfig{
+			Funcs: 120, Layers: 6, FanOut: 2.5,
+			Targets:         []string{"malloc", "calloc", "memalign"},
+			AllocCallerFrac: 0.25, DupSiteFrac: 0.15, BackEdgeFrac: 0.05,
+			Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var prev *Plan
+		for _, scheme := range AllSchemes() {
+			p := mustPlan(t, scheme, g, targets)
+			if prev != nil {
+				for s := range p.Sites {
+					if !prev.Sites[s] {
+						t.Errorf("seed %d: %v instruments %s but %v does not",
+							seed, scheme, g.SiteLabel(s), prev.Scheme)
+					}
+				}
+				if p.NumSites() > prev.NumSites() {
+					t.Errorf("seed %d: %v has %d sites > %v's %d",
+						seed, scheme, p.NumSites(), prev.Scheme, prev.NumSites())
+				}
+			}
+			prev = p
+		}
+	}
+}
+
+func TestPlanRequiresTargets(t *testing.T) {
+	g, _ := callgraph.Figure2()
+	if _, err := NewPlan(SchemeTCS, g, nil); err == nil {
+		t.Error("NewPlan with no targets succeeded")
+	}
+}
+
+func TestSchemeStringRoundTrip(t *testing.T) {
+	for _, s := range AllSchemes() {
+		got, err := ParseScheme(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseScheme(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseScheme("bogus"); err == nil {
+		t.Error("ParseScheme(bogus) succeeded")
+	}
+}
+
+// TestIncrementalKeepsTrueBranching builds a graph with a true
+// branching node for a single target and verifies its sites stay.
+func TestIncrementalKeepsTrueBranching(t *testing.T) {
+	b := callgraph.NewBuilder()
+	b.AddCall("main", "A")
+	b.AddCall("main", "B")
+	b.AddCall("A", "malloc")
+	b.AddCall("B", "malloc")
+	g := b.Build()
+	targets := []callgraph.NodeID{g.NodeByName("malloc")}
+	p := mustPlan(t, SchemeIncremental, g, targets)
+	want := []string{"main->A#0", "main->B#0"}
+	if got := p.SiteLabels(g); !reflect.DeepEqual(got, want) {
+		t.Errorf("Incremental plan = %v, want %v", got, want)
+	}
+}
+
+// TestIncrementalPrunesFalseBranching: a node whose two edges reach
+// different targets needs no instrumentation.
+func TestIncrementalPrunesFalseBranching(t *testing.T) {
+	b := callgraph.NewBuilder()
+	b.AddCall("main", "malloc")
+	b.AddCall("main", "calloc")
+	g := b.Build()
+	targets := []callgraph.NodeID{g.NodeByName("malloc"), g.NodeByName("calloc")}
+	p := mustPlan(t, SchemeIncremental, g, targets)
+	if p.NumSites() != 0 {
+		t.Errorf("Incremental plan = %v, want empty (false branching)", p.SiteLabels(g))
+	}
+	// Slim, by contrast, must keep both: main has two target-reaching
+	// edges and is a branching node under its coarser definition.
+	slim := mustPlan(t, SchemeSlim, g, targets)
+	if slim.NumSites() != 2 {
+		t.Errorf("Slim plan = %v, want both sites", slim.SiteLabels(g))
+	}
+}
+
+// TestSlimPrunesLinearChain: a chain main->a->b->malloc has no
+// branching at all, so Slim needs zero instrumentation.
+func TestSlimPrunesLinearChain(t *testing.T) {
+	b := callgraph.NewBuilder()
+	b.AddCall("main", "a")
+	b.AddCall("a", "b")
+	b.AddCall("b", "malloc")
+	g := b.Build()
+	targets := []callgraph.NodeID{g.NodeByName("malloc")}
+	p := mustPlan(t, SchemeSlim, g, targets)
+	if p.NumSites() != 0 {
+		t.Errorf("Slim plan on chain = %v, want empty", p.SiteLabels(g))
+	}
+	tcs := mustPlan(t, SchemeTCS, g, targets)
+	if tcs.NumSites() != 3 {
+		t.Errorf("TCS plan on chain has %d sites, want 3", tcs.NumSites())
+	}
+}
+
+// TestIncrementalHandlesRecursion verifies Algorithm 1 terminates and
+// produces a sane set on cyclic graphs (the visited check in the BFS).
+func TestIncrementalHandlesRecursion(t *testing.T) {
+	b := callgraph.NewBuilder()
+	b.AddCall("main", "A")
+	b.AddCall("A", "B")
+	b.AddCall("B", "A") // cycle
+	b.AddCall("A", "malloc")
+	b.AddCall("B", "malloc")
+	g := b.Build()
+	targets := []callgraph.NodeID{g.NodeByName("malloc")}
+	p := mustPlan(t, SchemeIncremental, g, targets)
+	// A has two malloc-reaching out edges (A->B via B->malloc, and
+	// A->malloc): true branching. B has B->A and B->malloc: also two.
+	if p.NumSites() != 4 {
+		t.Errorf("Incremental on recursive graph = %v, want 4 sites", p.SiteLabels(g))
+	}
+}
+
+func TestCostReportOrdering(t *testing.T) {
+	g, targets, err := callgraph.Generate(callgraph.GenConfig{
+		Funcs: 200, Layers: 7, FanOut: 3,
+		Targets:         []string{"malloc", "calloc"},
+		AllocCallerFrac: 0.2, DupSiteFrac: 0.2, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64 = -1
+	var prevScheme Scheme
+	for i, scheme := range AllSchemes() {
+		p := mustPlan(t, scheme, g, targets)
+		r := Cost(g, p, EncoderPCC, nil)
+		if r.InstrumentedSites != p.NumSites() {
+			t.Errorf("%v: report sites %d != plan sites %d", scheme, r.InstrumentedSites, p.NumSites())
+		}
+		pct := r.SizeIncreasePercent()
+		if i > 0 && pct > prev {
+			t.Errorf("%v size increase %.2f%% > %v's %.2f%%; optimizations must not grow the binary",
+				scheme, pct, prevScheme, prev)
+		}
+		prev, prevScheme = pct, scheme
+	}
+}
+
+func TestCostUsesFuncSizes(t *testing.T) {
+	g, targets := callgraph.Figure2()
+	p := mustPlan(t, SchemeFCS, g, targets)
+	small := Cost(g, p, EncoderPCC, func(callgraph.NodeID) uint64 { return 100 })
+	big := Cost(g, p, EncoderPCC, func(callgraph.NodeID) uint64 { return 10000 })
+	if small.SizeIncreasePercent() <= big.SizeIncreasePercent() {
+		t.Error("smaller functions should show larger relative size increase")
+	}
+	if small.AddedBytes != big.AddedBytes {
+		t.Error("added bytes should not depend on function sizes")
+	}
+}

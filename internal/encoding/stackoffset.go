@@ -1,0 +1,99 @@
+package encoding
+
+import (
+	"math/rand"
+
+	"heaptherapy/internal/callgraph"
+)
+
+// Stack-offset context identification: the alternative technique the
+// paper contrasts with ([51] in its references). Instead of
+// maintaining an encoded value, that system profiles runs offline to
+// learn a mapping from the stack pointer's offset to calling contexts,
+// then uses the offset as the context ID at runtime. Its two failure
+// modes, which the paper calls out, are reproduced here:
+//
+//   - ambiguity: distinct contexts can produce identical stack offsets
+//     (here modeled as call-path frame depth, since the simulated
+//     machine has uniform frames), so the ID cannot separate them;
+//
+//   - profiling coverage: a context that never appeared in the
+//     profiling runs cannot be decoded at all (the paper quotes a 27%
+//     decoding failure rate).
+//
+// StackOffsetStats quantifies both on a call graph, for comparison
+// against the zero-failure encodings of this package.
+type StackOffsetStats struct {
+	// Contexts is the number of acyclic contexts examined.
+	Contexts int
+	// Ambiguous is the number of contexts sharing their
+	// {target, offset} key with at least one other context.
+	Ambiguous int
+	// UnseenFailures is the number of contexts that decode to nothing
+	// because profiling (at the given coverage) never observed their
+	// offset key.
+	UnseenFailures int
+	// Coverage is the fraction of contexts the profiling runs saw.
+	Coverage float64
+}
+
+// AmbiguityRate is the fraction of contexts with colliding IDs.
+func (s StackOffsetStats) AmbiguityRate() float64 {
+	if s.Contexts == 0 {
+		return 0
+	}
+	return float64(s.Ambiguous) / float64(s.Contexts)
+}
+
+// FailureRate is the fraction of contexts that fail to decode
+// (ambiguous or unseen) — the quantity the paper reports as 27% for
+// the profiling-based system.
+func (s StackOffsetStats) FailureRate() float64 {
+	if s.Contexts == 0 {
+		return 0
+	}
+	return float64(s.Ambiguous+s.UnseenFailures) / float64(s.Contexts)
+}
+
+// StackOffsetBaseline evaluates the stack-offset technique on a graph:
+// contexts are enumerated (up to limit), keyed by {target, depth}, and
+// a profiling phase observes `coverage` of them chosen pseudo-randomly
+// with the given seed.
+func StackOffsetBaseline(g *callgraph.Graph, targets []callgraph.NodeID, limit int, coverage float64, seed int64) StackOffsetStats {
+	paths := g.EnumerateContexts(targets, limit)
+	type key struct {
+		target callgraph.NodeID
+		depth  int
+	}
+	byKey := make(map[key]int)
+	keys := make([]key, len(paths))
+	for i, p := range paths {
+		k := key{target: g.Edge(p[len(p)-1]).To, depth: len(p)}
+		keys[i] = k
+		byKey[k]++
+	}
+
+	st := StackOffsetStats{Contexts: len(paths), Coverage: coverage}
+	for _, k := range keys {
+		if byKey[k] > 1 {
+			st.Ambiguous++
+		}
+	}
+
+	// Profiling: observe a fraction of contexts; an unambiguous context
+	// whose key was never profiled cannot be decoded.
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[key]bool)
+	for i, k := range keys {
+		_ = i
+		if rng.Float64() < coverage {
+			seen[k] = true
+		}
+	}
+	for _, k := range keys {
+		if byKey[k] == 1 && !seen[k] {
+			st.UnseenFailures++
+		}
+	}
+	return st
+}

@@ -1,0 +1,81 @@
+package encoding
+
+import (
+	"fmt"
+
+	"heaptherapy/internal/callgraph"
+)
+
+// Collision describes two distinct calling contexts that received the
+// same CCID under a coder.
+type Collision struct {
+	// Target is the function both contexts invoke.
+	Target callgraph.NodeID
+	// CCID is the shared encoding.
+	CCID uint64
+	// PathA and PathB are the colliding contexts (site IDs).
+	PathA, PathB []callgraph.SiteID
+}
+
+func (c Collision) String() string {
+	return fmt.Sprintf("target %d: ccid %#x encodes %v and %v", c.Target, c.CCID, c.PathA, c.PathB)
+}
+
+// VerifyDistinguishability enumerates up to limit acyclic calling
+// contexts of the plan's targets and checks the paper's correctness
+// property: distinct contexts of the same target function must receive
+// distinct {TargetFn, CCID} pairs. (For FCS/TCS/Slim the CCID alone
+// must distinguish same-target contexts; Incremental is defined only up
+// to the pair, which is what interception observes.)
+//
+// Contexts that traverse a DFS back edge are skipped for additive
+// (precise) encoders: those encoders deliberately collapse recursive
+// contexts onto their acyclic skeleton, exactly as PCCE's recursion
+// handling does, so uniqueness is only promised for back-edge-free
+// paths. PCC contexts are all checked — its hash covers recursion.
+//
+// It returns the contexts examined and any collisions found.
+func VerifyDistinguishability(g *callgraph.Graph, coder *Coder, limit int) (int, []Collision) {
+	paths := g.EnumerateContexts(coder.Plan().Targets, limit)
+	type key struct {
+		target callgraph.NodeID
+		ccid   uint64
+	}
+	seen := make(map[key][]callgraph.SiteID, len(paths))
+	var collisions []Collision
+	examined := 0
+	for _, p := range paths {
+		if len(p) == 0 {
+			continue
+		}
+		if coder.Precise() && coder.TraversesBackEdge(p) {
+			continue
+		}
+		examined++
+		target := g.Edge(p[len(p)-1]).To
+		ccid := coder.EncodePath(p)
+		k := key{target: target, ccid: ccid}
+		if prev, ok := seen[k]; ok {
+			if !samePath(prev, p) {
+				collisions = append(collisions, Collision{
+					Target: target, CCID: ccid, PathA: prev, PathB: p,
+				})
+			}
+			continue
+		}
+		seen[k] = p
+	}
+	return examined, collisions
+}
+
+func samePath(a, b []callgraph.SiteID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

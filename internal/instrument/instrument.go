@@ -1,0 +1,136 @@
+// Package instrument is the Program Instrumentation Tool of Figure 1
+// as a literal source-to-source transformation: given a program and a
+// bound coder (plan + per-site constants), Rewrite emits a NEW program
+// whose calling-context maintenance is ordinary code — a per-thread
+// global V, a prologue copy t = V, an update V = f(t, c) before each
+// instrumented call with a restore after it, and explicit context
+// expressions at allocation sites.
+//
+// The rewritten program runs with NO coder attached and produces
+// bit-identical allocation CCIDs to the original running under the
+// interpreter's built-in encoding support (locked in by tests). This
+// is exactly the paper's deployment story: instrumentation happens
+// once, at build time, and the very same instrumented binary serves
+// both the offline analyzer and the online defense.
+package instrument
+
+import (
+	"fmt"
+
+	"heaptherapy/internal/callgraph"
+	"heaptherapy/internal/encoding"
+	"heaptherapy/internal/prog"
+)
+
+// Names used by the rewriter in the output program. The "__cc" prefix
+// keeps them out of the way of program variables (progtext identifiers
+// may not start with underscores... they may, but the corpus never
+// uses this prefix).
+const (
+	// GlobalV is the per-thread calling-context variable V.
+	GlobalV = "__cc_v"
+	// LocalT is the prologue copy of V (the paper's t).
+	LocalT = "__cc_t"
+)
+
+// Rewrite produces the instrumented version of p for the given coder.
+// The input program must be linked; the output program is re-linked
+// and fully independent of the input (bodies are rebuilt).
+func Rewrite(p *prog.Program, coder *encoding.Coder) (*prog.Program, error) {
+	if p.Graph() == nil {
+		return nil, fmt.Errorf("instrument: program %s is not linked", p.Name)
+	}
+	out := &prog.Program{
+		Name:  p.Name,
+		Entry: p.Entry,
+		Funcs: make(map[string]*prog.Func, len(p.Funcs)),
+	}
+	rw := &rewriter{coder: coder}
+	for name, f := range p.Funcs {
+		body, usesT := rw.block(f.Body)
+		if usesT {
+			// Prologue: t = V (the paper inserts this at function entry
+			// when the function contains instrumented sites).
+			body = append([]prog.Stmt{
+				prog.Assign{Dst: LocalT, E: prog.Global{Name: GlobalV}},
+			}, body...)
+		}
+		out.Funcs[name] = &prog.Func{
+			Name:   name,
+			Params: append([]string(nil), f.Params...),
+			Body:   body,
+		}
+	}
+	if err := prog.Link(out); err != nil {
+		return nil, fmt.Errorf("instrument: relinking: %w", err)
+	}
+	return out, nil
+}
+
+type rewriter struct {
+	coder *encoding.Coder
+}
+
+// update builds the V-update expression for a site from the prologue
+// copy t: 3*t + c for PCC, t + c for the additive encoders.
+func (rw *rewriter) update(site callgraph.SiteID) prog.Expr {
+	c := prog.C(rw.coder.SiteConst(site))
+	if rw.coder.Kind() == encoding.EncoderPCC {
+		return prog.Add(prog.Mul(prog.C(3), prog.V(LocalT)), c)
+	}
+	return prog.Add(prog.V(LocalT), c)
+}
+
+// block rewrites a statement list; usesT reports whether any emitted
+// statement references the prologue copy.
+func (rw *rewriter) block(body []prog.Stmt) ([]prog.Stmt, bool) {
+	var out []prog.Stmt
+	usesT := false
+	for _, s := range body {
+		switch st := s.(type) {
+		case prog.Call:
+			if rw.coder.Instrumented(st.Site()) {
+				usesT = true
+				out = append(out,
+					prog.SetGlobal{Dst: GlobalV, E: rw.update(st.Site())},
+					st,
+					// Restore discipline: V returns to the caller's
+					// context value after the call.
+					prog.SetGlobal{Dst: GlobalV, E: prog.V(LocalT)},
+				)
+				continue
+			}
+			out = append(out, st)
+		case prog.Alloc:
+			if rw.coder.Instrumented(st.Site()) {
+				usesT = true
+				st.CCID = rw.update(st.Site())
+			} else {
+				st.CCID = prog.Global{Name: GlobalV}
+			}
+			out = append(out, st)
+		case prog.ReallocStmt:
+			if rw.coder.Instrumented(st.Site()) {
+				usesT = true
+				st.CCID = rw.update(st.Site())
+			} else {
+				st.CCID = prog.Global{Name: GlobalV}
+			}
+			out = append(out, st)
+		case prog.If:
+			then, t1 := rw.block(st.Then)
+			els, t2 := rw.block(st.Else)
+			st.Then, st.Else = then, els
+			usesT = usesT || t1 || t2
+			out = append(out, st)
+		case prog.While:
+			inner, t := rw.block(st.Body)
+			st.Body = inner
+			usesT = usesT || t
+			out = append(out, st)
+		default:
+			out = append(out, s)
+		}
+	}
+	return out, usesT
+}

@@ -1,0 +1,206 @@
+package instrument
+
+import (
+	"bytes"
+	"testing"
+
+	"heaptherapy/internal/analysis"
+	"heaptherapy/internal/defense"
+	"heaptherapy/internal/encoding"
+	"heaptherapy/internal/heapsim"
+	"heaptherapy/internal/mem"
+	"heaptherapy/internal/prog"
+	"heaptherapy/internal/vuln"
+)
+
+func coderFor(t *testing.T, p *prog.Program, scheme encoding.Scheme, kind encoding.EncoderKind) *encoding.Coder {
+	t.Helper()
+	plan, err := encoding.NewPlan(scheme, p.Graph(), p.Targets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coder, err := encoding.NewCoder(kind, p.Graph(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coder
+}
+
+// ccidRecorder records allocation CCIDs in order.
+type ccidRecorder struct {
+	prog.HeapBackend
+	ccids []uint64
+}
+
+func (r *ccidRecorder) Alloc(fn heapsim.AllocFn, ccid, n, size, align uint64) (uint64, error) {
+	r.ccids = append(r.ccids, ccid)
+	return r.HeapBackend.Alloc(fn, ccid, n, size, align)
+}
+
+func (r *ccidRecorder) Realloc(ccid, ptr, size uint64) (uint64, error) {
+	r.ccids = append(r.ccids, ccid)
+	return r.HeapBackend.Realloc(ccid, ptr, size)
+}
+
+// runRecorded executes p (with optional coder) and returns the CCID
+// sequence and output.
+func runRecorded(t *testing.T, p *prog.Program, coder *encoding.Coder, input []byte) ([]uint64, []byte) {
+	t.Helper()
+	space, err := mem.NewSpace(mem.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	native, err := prog.NewNativeBackend(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &ccidRecorder{HeapBackend: native}
+	it, err := prog.New(p, prog.Config{Backend: rec, Coder: coder})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := it.Run(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec.ccids, res.Output
+}
+
+// TestRewriteMatchesInterpreterCCIDs is the rewriter's core contract:
+// for every corpus program, scheme, and encoder, the REWRITTEN program
+// run with NO coder yields the exact CCID sequence of the ORIGINAL run
+// under the interpreter's built-in encoding.
+func TestRewriteMatchesInterpreterCCIDs(t *testing.T) {
+	for _, c := range vuln.Named() {
+		for _, scheme := range encoding.AllSchemes() {
+			for _, kind := range encoding.AllEncoders() {
+				coder := coderFor(t, c.Program, scheme, kind)
+				rewritten, err := Rewrite(c.Program, coder)
+				if err != nil {
+					t.Fatalf("%s %v/%v: %v", c.Name, scheme, kind, err)
+				}
+				for _, input := range append([][]byte{c.Attack}, c.Benign...) {
+					want, wantOut := runRecorded(t, c.Program, coder, input)
+					got, gotOut := runRecorded(t, rewritten, nil, input)
+					if len(got) != len(want) {
+						t.Fatalf("%s %v/%v: %d CCIDs vs %d", c.Name, scheme, kind, len(got), len(want))
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("%s %v/%v: ccid[%d] = %#x, want %#x",
+								c.Name, scheme, kind, i, got[i], want[i])
+						}
+					}
+					if !bytes.Equal(gotOut, wantOut) {
+						t.Fatalf("%s %v/%v: output diverged after rewriting", c.Name, scheme, kind)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRewriteIsVisibleCode: the output program literally contains the
+// V-maintenance statements.
+func TestRewriteIsVisibleCode(t *testing.T) {
+	c := vuln.Heartbleed()
+	coder := coderFor(t, c.Program, encoding.SchemeTCS, encoding.EncoderPCC)
+	rewritten, err := Rewrite(c.Program, coder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setGlobals, prologues := 0, 0
+	for _, f := range rewritten.Funcs {
+		if len(f.Body) > 0 {
+			if a, ok := f.Body[0].(prog.Assign); ok && a.Dst == LocalT {
+				prologues++
+			}
+		}
+		var walk func([]prog.Stmt)
+		walk = func(body []prog.Stmt) {
+			for _, s := range body {
+				switch st := s.(type) {
+				case prog.SetGlobal:
+					if st.Dst == GlobalV {
+						setGlobals++
+					}
+				case prog.If:
+					walk(st.Then)
+					walk(st.Else)
+				case prog.While:
+					walk(st.Body)
+				}
+			}
+		}
+		walk(f.Body)
+	}
+	if prologues == 0 {
+		t.Error("no prologue t = V emitted")
+	}
+	if setGlobals == 0 {
+		t.Error("no V updates emitted")
+	}
+}
+
+// TestRewriteRequiresLinked rejects unlinked programs.
+func TestRewriteRequiresLinked(t *testing.T) {
+	p := &prog.Program{Name: "raw", Funcs: map[string]*prog.Func{"main": {}}}
+	c := vuln.BC()
+	coder := coderFor(t, c.Program, encoding.SchemeTCS, encoding.EncoderPCC)
+	if _, err := Rewrite(p, coder); err == nil {
+		t.Error("Rewrite accepted unlinked program")
+	}
+}
+
+// TestRewrittenProgramFullPipeline: the instrumented program — with no
+// coder anywhere — goes through offline analysis and online defense
+// and still defeats the attack, patching on the CCIDs its own code
+// computes. This is the paper's deployment: one instrumented binary
+// for both phases.
+func TestRewrittenProgramFullPipeline(t *testing.T) {
+	c := vuln.Heartbleed()
+	coder := coderFor(t, c.Program, encoding.SchemeIncremental, encoding.EncoderPCC)
+	rewritten, err := Rewrite(c.Program, coder)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Offline: analyze the rewritten program with NO coder.
+	a := &analysis.Analyzer{}
+	rep, err := a.Analyze(rewritten, c.Attack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Patches.Len() == 0 {
+		t.Fatalf("no patches; warnings: %v", rep.Warnings)
+	}
+	for _, p := range rep.Patches.Patches() {
+		if p.CCID == 0 {
+			t.Errorf("patch %v has zero CCID; instrumentation not in effect", p)
+		}
+	}
+
+	// Online: defended run of the rewritten program, also with no coder.
+	space, err := mem.NewSpace(mem.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := defense.NewBackend(space, defense.Config{Patches: rep.Patches})
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := prog.New(rewritten, prog.Config{Backend: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := it.Run(c.Attack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Success(res) {
+		t.Error("attack succeeded against the defended instrumented program")
+	}
+	if db.Defender().Stats().PatchedAllocs == 0 {
+		t.Error("defense matched no allocations; offline/online CCIDs diverged")
+	}
+}

@@ -1,0 +1,461 @@
+// Package mem implements a simulated byte-addressable address space with
+// page-granularity protection, modeled after the portion of POSIX virtual
+// memory semantics that HeapTherapy+ depends on: mprotect-style page
+// protection and fault-on-access for inaccessible pages.
+//
+// The online defense generator in the paper places guard pages after
+// vulnerable buffers and marks them PROT_NONE with mprotect(2); any
+// overflowing access then faults. This package reproduces exactly those
+// semantics over an in-process byte array: every load, store, and copy is
+// checked against per-page protection bits, and violations surface as
+// *FaultError values (the simulation's SIGSEGV).
+package mem
+
+import (
+	"fmt"
+)
+
+// PageSize is the size of a virtual page in bytes. It matches the 4 KiB
+// page size assumed by the paper's guard-page placement (Section VI) and
+// its 36-bit page-frame encoding in the metadata word.
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// Prot is a page-protection bitmask, mirroring PROT_READ/PROT_WRITE.
+type Prot uint8
+
+// Protection bits. ProtNone (no bits set) makes a page inaccessible.
+const (
+	// ProtRead permits loads from the page.
+	ProtRead Prot = 1 << iota
+	// ProtWrite permits stores to the page.
+	ProtWrite
+)
+
+// ProtNone marks a page wholly inaccessible, as used for guard pages.
+const ProtNone Prot = 0
+
+// ProtRW permits both loads and stores; the default for mapped memory.
+const ProtRW = ProtRead | ProtWrite
+
+func (p Prot) String() string {
+	switch p {
+	case ProtNone:
+		return "---"
+	case ProtRead:
+		return "r--"
+	case ProtWrite:
+		return "-w-"
+	case ProtRW:
+		return "rw-"
+	default:
+		return fmt.Sprintf("Prot(%#x)", uint8(p))
+	}
+}
+
+// AccessKind distinguishes the operation that caused a fault.
+type AccessKind uint8
+
+// Kinds of memory access.
+const (
+	// AccessRead is a load.
+	AccessRead AccessKind = iota + 1
+	// AccessWrite is a store.
+	AccessWrite
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	default:
+		return fmt.Sprintf("AccessKind(%d)", uint8(k))
+	}
+}
+
+// FaultError reports an access violation: the simulation's equivalent of
+// SIGSEGV. The online defense relies on these faults to stop overflow
+// attacks at the guard page.
+type FaultError struct {
+	// Addr is the first faulting address.
+	Addr uint64
+	// Kind is the access type that faulted.
+	Kind AccessKind
+	// Len is the length of the attempted access.
+	Len uint64
+	// Reason describes why the access faulted.
+	Reason string
+}
+
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("memory fault: %s of %d byte(s) at %#x: %s", e.Kind, e.Len, e.Addr, e.Reason)
+}
+
+// Space is a simulated address space. The space covers addresses
+// [Base, Base+Size). Addresses below Base are never mapped, so address 0
+// is always invalid (a nil pointer faults, as on a real machine).
+//
+// A Space grows upward via Sbrk, mimicking the classic Unix program
+// break; the heap allocator in package heapsim builds its arena on top.
+//
+// Space is not safe for concurrent use; the interpreter in package prog
+// is single-threaded per space, matching the paper's per-process view.
+type Space struct {
+	base  uint64
+	data  []byte
+	prot  []Prot // one entry per page, indexed from base
+	limit uint64 // maximum mapped size in bytes
+
+	faults uint64 // count of faults reported, for diagnostics
+}
+
+// Config controls Space construction.
+type Config struct {
+	// Base is the lowest mapped address. It must be page aligned and
+	// nonzero. Defaults to DefaultBase.
+	Base uint64
+	// Reserve is the initial mapped size in bytes, rounded up to a page
+	// boundary. Defaults to DefaultReserve.
+	Reserve uint64
+	// Limit caps the total mapped size in bytes (0 means DefaultLimit).
+	Limit uint64
+}
+
+// Defaults for Config.
+const (
+	// DefaultBase places the heap segment at 1 MiB, so small addresses
+	// (including nil) always fault.
+	DefaultBase = 1 << 20
+	// DefaultReserve is the initial mapping: 1 MiB.
+	DefaultReserve = 1 << 20
+	// DefaultLimit caps the simulated segment at 1 GiB.
+	DefaultLimit = 1 << 30
+)
+
+// limit is the effective cap for this space.
+func (c Config) limit() uint64 {
+	if c.Limit == 0 {
+		return DefaultLimit
+	}
+	return c.Limit
+}
+
+// NewSpace creates a simulated address space.
+func NewSpace(cfg Config) (*Space, error) {
+	if cfg.Base == 0 {
+		cfg.Base = DefaultBase
+	}
+	if cfg.Reserve == 0 {
+		cfg.Reserve = DefaultReserve
+	}
+	if cfg.Base%PageSize != 0 {
+		return nil, fmt.Errorf("mem: base %#x is not page aligned", cfg.Base)
+	}
+	reserve := roundUpPage(cfg.Reserve)
+	if reserve > cfg.limit() {
+		return nil, fmt.Errorf("mem: reserve %d exceeds limit %d", reserve, cfg.limit())
+	}
+	s := &Space{
+		base:  cfg.Base,
+		data:  make([]byte, reserve),
+		prot:  make([]Prot, reserve/PageSize),
+		limit: cfg.limit(),
+	}
+	for i := range s.prot {
+		s.prot[i] = ProtRW
+	}
+	return s, nil
+}
+
+// Base returns the lowest mapped address.
+func (s *Space) Base() uint64 { return s.base }
+
+// End returns one past the highest mapped address (the current break).
+func (s *Space) End() uint64 { return s.base + uint64(len(s.data)) }
+
+// Size returns the mapped size in bytes.
+func (s *Space) Size() uint64 { return uint64(len(s.data)) }
+
+// Faults returns the number of faults this space has reported.
+func (s *Space) Faults() uint64 { return s.faults }
+
+// Sbrk grows the mapped region by n bytes (rounded up to a page) and
+// returns the previous break address, which is the start of the newly
+// mapped region. New pages are ProtRW and zero filled.
+func (s *Space) Sbrk(n uint64) (uint64, error) {
+	grow := roundUpPage(n)
+	old := s.End()
+	if uint64(len(s.data))+grow > s.limitBytes() {
+		return 0, fmt.Errorf("mem: sbrk(%d) exceeds segment limit %d", n, s.limitBytes())
+	}
+	s.data = append(s.data, make([]byte, grow)...)
+	for i := uint64(0); i < grow/PageSize; i++ {
+		s.prot = append(s.prot, ProtRW)
+	}
+	return old, nil
+}
+
+// limitBytes returns the maximum mapped size, from Config.Limit.
+func (s *Space) limitBytes() uint64 { return s.limit }
+
+// Contains reports whether the address range [addr, addr+n) is mapped.
+func (s *Space) Contains(addr, n uint64) bool {
+	if addr < s.base {
+		return false
+	}
+	end := addr + n
+	return end >= addr && end <= s.End()
+}
+
+// Mprotect sets the protection of every page overlapping
+// [addr, addr+n). Both addr and n must be page aligned, matching
+// mprotect(2) semantics.
+func (s *Space) Mprotect(addr, n uint64, p Prot) error {
+	if addr%PageSize != 0 {
+		return fmt.Errorf("mem: mprotect address %#x is not page aligned", addr)
+	}
+	if n%PageSize != 0 {
+		return fmt.Errorf("mem: mprotect length %d is not page aligned", n)
+	}
+	if !s.Contains(addr, n) {
+		return fmt.Errorf("mem: mprotect range [%#x,%#x) is not mapped", addr, addr+n)
+	}
+	first := (addr - s.base) / PageSize
+	for i := uint64(0); i < n/PageSize; i++ {
+		s.prot[first+i] = p
+	}
+	return nil
+}
+
+// ProtAt returns the protection of the page containing addr.
+func (s *Space) ProtAt(addr uint64) (Prot, error) {
+	if !s.Contains(addr, 1) {
+		return 0, fmt.Errorf("mem: address %#x is not mapped", addr)
+	}
+	return s.prot[(addr-s.base)/PageSize], nil
+}
+
+// check validates an access of n bytes at addr for the given kind and
+// returns a *FaultError pinpointing the first offending address.
+func (s *Space) check(addr, n uint64, kind AccessKind) error {
+	if n == 0 {
+		return nil
+	}
+	if addr+n < addr { // overflow
+		s.faults++
+		return &FaultError{Addr: addr, Kind: kind, Len: n, Reason: "address range wraps"}
+	}
+	if !s.Contains(addr, n) {
+		s.faults++
+		first := addr
+		if addr >= s.base && addr < s.End() {
+			first = s.End()
+		}
+		return &FaultError{Addr: first, Kind: kind, Len: n, Reason: "unmapped address"}
+	}
+	need := ProtRead
+	if kind == AccessWrite {
+		need = ProtWrite
+	}
+	firstPage := (addr - s.base) / PageSize
+	lastPage := (addr + n - 1 - s.base) / PageSize
+	for p := firstPage; p <= lastPage; p++ {
+		if s.prot[p]&need == 0 {
+			s.faults++
+			faultAddr := s.base + p*PageSize
+			if faultAddr < addr {
+				faultAddr = addr
+			}
+			return &FaultError{
+				Addr: faultAddr, Kind: kind, Len: n,
+				Reason: fmt.Sprintf("page protection %s forbids %s", s.prot[p], kind),
+			}
+		}
+	}
+	return nil
+}
+
+// CheckRead validates that [addr, addr+n) is readable.
+func (s *Space) CheckRead(addr, n uint64) error { return s.check(addr, n, AccessRead) }
+
+// CheckWrite validates that [addr, addr+n) is writable.
+func (s *Space) CheckWrite(addr, n uint64) error { return s.check(addr, n, AccessWrite) }
+
+// Read copies n bytes starting at addr into a fresh slice.
+func (s *Space) Read(addr, n uint64) ([]byte, error) {
+	if err := s.check(addr, n, AccessRead); err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, s.data[addr-s.base:])
+	return out, nil
+}
+
+// ReadInto copies len(dst) bytes starting at addr into dst.
+func (s *Space) ReadInto(addr uint64, dst []byte) error {
+	n := uint64(len(dst))
+	if err := s.check(addr, n, AccessRead); err != nil {
+		return err
+	}
+	copy(dst, s.data[addr-s.base:])
+	return nil
+}
+
+// Write copies src into memory starting at addr.
+func (s *Space) Write(addr uint64, src []byte) error {
+	n := uint64(len(src))
+	if err := s.check(addr, n, AccessWrite); err != nil {
+		return err
+	}
+	copy(s.data[addr-s.base:], src)
+	return nil
+}
+
+// Memset fills [addr, addr+n) with b.
+func (s *Space) Memset(addr uint64, b byte, n uint64) error {
+	if err := s.check(addr, n, AccessWrite); err != nil {
+		return err
+	}
+	region := s.data[addr-s.base : addr-s.base+n]
+	for i := range region {
+		region[i] = b
+	}
+	return nil
+}
+
+// Memmove copies n bytes from src to dst with memmove overlap semantics.
+func (s *Space) Memmove(dst, src, n uint64) error {
+	if err := s.check(src, n, AccessRead); err != nil {
+		return err
+	}
+	if err := s.check(dst, n, AccessWrite); err != nil {
+		return err
+	}
+	copy(s.data[dst-s.base:dst-s.base+n], s.data[src-s.base:src-s.base+n])
+	return nil
+}
+
+// Load64 reads a little-endian 64-bit word at addr.
+func (s *Space) Load64(addr uint64) (uint64, error) {
+	if err := s.check(addr, 8, AccessRead); err != nil {
+		return 0, err
+	}
+	return s.load64(addr), nil
+}
+
+// load64 reads a word without checking protection; callers must have
+// validated the access.
+func (s *Space) load64(addr uint64) uint64 {
+	off := addr - s.base
+	var v uint64
+	for i := uint64(0); i < 8; i++ {
+		v |= uint64(s.data[off+i]) << (8 * i)
+	}
+	return v
+}
+
+// Store64 writes a little-endian 64-bit word at addr.
+func (s *Space) Store64(addr, v uint64) error {
+	if err := s.check(addr, 8, AccessWrite); err != nil {
+		return err
+	}
+	s.store64(addr, v)
+	return nil
+}
+
+func (s *Space) store64(addr, v uint64) {
+	off := addr - s.base
+	for i := uint64(0); i < 8; i++ {
+		s.data[off+i] = byte(v >> (8 * i))
+	}
+}
+
+// RawLoad64 reads a 64-bit word ignoring page protection. It is used by
+// the allocator and the defense library for their own metadata, which a
+// real implementation would access through unprotected mappings.
+func (s *Space) RawLoad64(addr uint64) (uint64, error) {
+	if !s.Contains(addr, 8) {
+		return 0, &FaultError{Addr: addr, Kind: AccessRead, Len: 8, Reason: "unmapped address"}
+	}
+	return s.load64(addr), nil
+}
+
+// RawStore64 writes a 64-bit word ignoring page protection.
+func (s *Space) RawStore64(addr, v uint64) error {
+	if !s.Contains(addr, 8) {
+		return &FaultError{Addr: addr, Kind: AccessWrite, Len: 8, Reason: "unmapped address"}
+	}
+	s.store64(addr, v)
+	return nil
+}
+
+// RawRead copies n bytes ignoring page protection.
+func (s *Space) RawRead(addr, n uint64) ([]byte, error) {
+	if !s.Contains(addr, n) {
+		return nil, &FaultError{Addr: addr, Kind: AccessRead, Len: n, Reason: "unmapped address"}
+	}
+	out := make([]byte, n)
+	copy(out, s.data[addr-s.base:])
+	return out, nil
+}
+
+// RawWrite copies src ignoring page protection.
+func (s *Space) RawWrite(addr uint64, src []byte) error {
+	n := uint64(len(src))
+	if !s.Contains(addr, n) {
+		return &FaultError{Addr: addr, Kind: AccessWrite, Len: n, Reason: "unmapped address"}
+	}
+	copy(s.data[addr-s.base:], src)
+	return nil
+}
+
+// RawMemset fills memory ignoring page protection.
+func (s *Space) RawMemset(addr uint64, b byte, n uint64) error {
+	if !s.Contains(addr, n) {
+		return &FaultError{Addr: addr, Kind: AccessWrite, Len: n, Reason: "unmapped address"}
+	}
+	region := s.data[addr-s.base : addr-s.base+n]
+	for i := range region {
+		region[i] = b
+	}
+	return nil
+}
+
+// IsFault reports whether err is (or wraps) a *FaultError.
+func IsFault(err error) bool {
+	_, ok := AsFault(err)
+	return ok
+}
+
+// AsFault extracts a *FaultError from err if present.
+func AsFault(err error) (*FaultError, bool) {
+	for err != nil {
+		if fe, ok := err.(*FaultError); ok {
+			return fe, true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return nil, false
+		}
+		err = u.Unwrap()
+	}
+	return nil, false
+}
+
+// roundUpPage rounds n up to the next multiple of PageSize.
+func roundUpPage(n uint64) uint64 {
+	return (n + PageSize - 1) &^ uint64(PageSize-1)
+}
+
+// RoundUpPage rounds n up to the next multiple of PageSize.
+func RoundUpPage(n uint64) uint64 { return roundUpPage(n) }
+
+// PageAlignDown rounds addr down to its page boundary.
+func PageAlignDown(addr uint64) uint64 { return addr &^ uint64(PageSize-1) }
+
+// PageAlignUp rounds addr up to the next page boundary.
+func PageAlignUp(addr uint64) uint64 { return roundUpPage(addr) }

@@ -1,0 +1,34 @@
+package patch
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadConfig ensures arbitrary configuration bytes never panic the
+// parser, and accepted configs round-trip.
+func FuzzReadConfig(f *testing.F) {
+	f.Add("FUN=malloc CCID=0x10 T=OVERFLOW\n")
+	f.Add("# comment\nFUN=calloc CCID=16 T=UAF|UNINIT_READ\n")
+	f.Add("FUN=memalign CCID=18446744073709551615 T=OVERFLOW|UAF|UNINIT_READ\n")
+	f.Add("")
+	f.Add("garbage\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		set, err := ReadConfig(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := set.WriteConfig(&buf); err != nil {
+			t.Fatalf("accepted config fails to serialize: %v", err)
+		}
+		back, err := ReadConfig(&buf)
+		if err != nil {
+			t.Fatalf("serialized config does not re-parse: %v\n%s", err, buf.String())
+		}
+		if back.Len() != set.Len() {
+			t.Fatalf("round trip changed size: %d -> %d", set.Len(), back.Len())
+		}
+	})
+}

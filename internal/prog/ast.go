@@ -1,0 +1,300 @@
+package prog
+
+import (
+	"heaptherapy/internal/callgraph"
+	"heaptherapy/internal/heapsim"
+)
+
+// --- expressions -----------------------------------------------------------
+
+// Expr is a side-effect-free expression evaluated against the current
+// frame.
+type Expr interface{ isExpr() }
+
+// Const is a literal scalar.
+type Const struct{ V uint64 }
+
+// Var reads a frame variable.
+type Var struct{ Name string }
+
+// BinOp enumerates binary operators.
+type BinOp uint8
+
+// Binary operators. Comparisons yield 0 or 1.
+const (
+	OpAdd BinOp = iota + 1
+	OpSub
+	OpMul
+	OpDiv // division by zero yields 0, like a saturating DSP; programs under test guard it
+	OpMod
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpLt
+	OpLe
+	OpEq
+	OpNe
+	OpGt
+	OpGe
+)
+
+// Bin applies Op to A and B as 64-bit scalars.
+type Bin struct {
+	Op   BinOp
+	A, B Expr
+}
+
+// InputLen evaluates to the total length of the program input.
+type InputLen struct{}
+
+// InputRemaining evaluates to the number of unread input bytes.
+type InputRemaining struct{}
+
+// Global reads a global (per-thread) variable; undefined globals read
+// as zero, like a zero-initialized thread-local in C. The
+// instrumentation rewriter stores the calling-context value V in one.
+type Global struct{ Name string }
+
+func (Const) isExpr()          {}
+func (Var) isExpr()            {}
+func (Bin) isExpr()            {}
+func (InputLen) isExpr()       {}
+func (InputRemaining) isExpr() {}
+func (Global) isExpr()         {}
+
+// Convenience constructors keep program definitions readable.
+
+// C is shorthand for Const.
+func C(v uint64) Expr { return Const{V: v} }
+
+// V is shorthand for Var.
+func V(name string) Expr { return Var{Name: name} }
+
+// Add returns a+b.
+func Add(a, b Expr) Expr { return Bin{Op: OpAdd, A: a, B: b} }
+
+// Sub returns a-b.
+func Sub(a, b Expr) Expr { return Bin{Op: OpSub, A: a, B: b} }
+
+// Mul returns a*b.
+func Mul(a, b Expr) Expr { return Bin{Op: OpMul, A: a, B: b} }
+
+// And returns a&b.
+func And(a, b Expr) Expr { return Bin{Op: OpAnd, A: a, B: b} }
+
+// Lt returns a<b.
+func Lt(a, b Expr) Expr { return Bin{Op: OpLt, A: a, B: b} }
+
+// Le returns a<=b.
+func Le(a, b Expr) Expr { return Bin{Op: OpLe, A: a, B: b} }
+
+// Eq returns a==b.
+func Eq(a, b Expr) Expr { return Bin{Op: OpEq, A: a, B: b} }
+
+// Ne returns a!=b.
+func Ne(a, b Expr) Expr { return Bin{Op: OpNe, A: a, B: b} }
+
+// Gt returns a>b.
+func Gt(a, b Expr) Expr { return Bin{Op: OpGt, A: a, B: b} }
+
+// --- statements ------------------------------------------------------------
+
+// Stmt is an executable statement.
+type Stmt interface{ isStmt() }
+
+// Assign stores the expression's scalar into a frame variable.
+type Assign struct {
+	Dst string
+	E   Expr
+}
+
+// SetGlobal stores the expression's scalar into a global (per-thread)
+// variable.
+type SetGlobal struct {
+	Dst string
+	E   Expr
+}
+
+// Alloc performs a heap allocation through the given API. The linker
+// assigns the call site; at runtime the buffer's allocation-time CCID
+// is computed per the active encoding. Align is used by memalign and
+// aligned_alloc only. For calloc, Size is the element size and N the
+// count; other functions ignore N.
+type Alloc struct {
+	Dst   string
+	Fn    heapsim.AllocFn
+	Size  Expr
+	N     Expr // calloc count; nil = 1
+	Align Expr // memalign alignment; nil
+	// CCID, when non-nil, supplies the allocation-time calling-context
+	// ID explicitly (evaluated at the call). The instrumentation
+	// rewriter emits these so instrumented programs carry their own
+	// context arithmetic; hand-written programs leave it nil and let
+	// the interpreter's bound coder compute it.
+	CCID Expr
+
+	site callgraph.SiteID // assigned by Link
+}
+
+// ReallocStmt resizes an allocation (realloc has its own CCID site).
+type ReallocStmt struct {
+	Dst  string
+	Ptr  Expr
+	Size Expr
+	// CCID, when non-nil, supplies the context explicitly (see Alloc).
+	CCID Expr
+
+	site callgraph.SiteID
+}
+
+// FreeStmt releases a heap buffer.
+type FreeStmt struct{ Ptr Expr }
+
+// Load reads N bytes of memory at Base+Off into Dst. The base address
+// is an address use point: in analysis mode, using uninitialized data
+// as an address raises a warning.
+type Load struct {
+	Dst  string
+	Base Expr
+	Off  Expr
+	N    Expr
+}
+
+// Store writes the first N bytes of the source value to Base+Off.
+type Store struct {
+	Base Expr
+	Off  Expr
+	Src  Expr // scalar source
+	N    Expr // bytes to store (1..8)
+}
+
+// StoreVar writes a whole variable's bytes to Base+Off, preserving
+// shadow state (the memory image of a struct copy).
+type StoreVar struct {
+	Base Expr
+	Off  Expr
+	Src  string
+}
+
+// StoreBytes writes a literal byte string to Base+Off.
+type StoreBytes struct {
+	Base Expr
+	Off  Expr
+	Data []byte
+}
+
+// Memcpy copies N bytes from Src to Dst (heap to heap), propagating
+// shadow state byte for byte in analysis mode.
+type Memcpy struct {
+	Dst Expr
+	Src Expr
+	N   Expr
+}
+
+// Memset fills N bytes at Dst with the low byte of B.
+type Memset struct {
+	Dst Expr
+	B   Expr
+	N   Expr
+}
+
+// ReadInput consumes up to N bytes of program input into Dst; the
+// variable receives the actually-read bytes (fully valid).
+type ReadInput struct {
+	Dst string
+	N   Expr
+}
+
+// Output appends N bytes of memory at Base+Off to the program output.
+// This models a write(2)-style system call: in analysis mode the range
+// is an output use point, so uninitialized bytes raise warnings
+// (Section V: V-bits are checked when data is used in a system call).
+type Output struct {
+	Base Expr
+	Off  Expr
+	N    Expr
+}
+
+// OutputVar appends a variable's bytes to the program output (also a
+// system-call use point).
+type OutputVar struct{ Src string }
+
+// If executes Then or Else depending on Cond. Evaluating Cond is a
+// control-flow use point for V-bit checking.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// While loops while Cond is nonzero (control-flow use point).
+type While struct {
+	Cond Expr
+	Body []Stmt
+}
+
+// Call invokes another function. Arguments are evaluated in the caller
+// and bound to the callee's parameters; the callee's Return value (if
+// any) lands in Dst (may be empty).
+type Call struct {
+	Dst    string
+	Callee string
+	Args   []Expr
+
+	site callgraph.SiteID
+}
+
+// Return ends the current function, optionally yielding a value.
+type Return struct{ E Expr }
+
+// Nop burns one interpreter step; used by workload generators to model
+// non-allocating computation.
+type Nop struct{}
+
+func (Assign) isStmt()      {}
+func (SetGlobal) isStmt()   {}
+func (Alloc) isStmt()       {}
+func (ReallocStmt) isStmt() {}
+func (FreeStmt) isStmt()    {}
+func (Load) isStmt()        {}
+func (Store) isStmt()       {}
+func (StoreVar) isStmt()    {}
+func (StoreBytes) isStmt()  {}
+func (Memcpy) isStmt()      {}
+func (Memset) isStmt()      {}
+func (ReadInput) isStmt()   {}
+func (Output) isStmt()      {}
+func (OutputVar) isStmt()   {}
+func (If) isStmt()          {}
+func (While) isStmt()       {}
+func (Call) isStmt()        {}
+func (Return) isStmt()      {}
+func (Nop) isStmt()         {}
+
+// Func is a program function.
+type Func struct {
+	Name   string
+	Params []string
+	Body   []Stmt
+}
+
+// Program is a linked program: functions plus the derived call graph.
+type Program struct {
+	// Name identifies the program in reports.
+	Name string
+	// Entry is the entry function, conventionally "main".
+	Entry string
+	// Funcs maps function names to definitions.
+	Funcs map[string]*Func
+
+	graph   *callgraph.Graph
+	targets []callgraph.NodeID
+}
+
+// Graph returns the program's call graph (available after Link).
+func (p *Program) Graph() *callgraph.Graph { return p.graph }
+
+// Targets returns the allocation-API nodes in the call graph.
+func (p *Program) Targets() []callgraph.NodeID { return p.targets }

@@ -1,0 +1,152 @@
+package prog
+
+import (
+	"fmt"
+
+	"heaptherapy/internal/heapsim"
+	"heaptherapy/internal/mem"
+)
+
+// UseKind classifies how a value is being used, for V-bit checking in
+// analysis mode. Following Section V of the paper, validity is checked
+// only at these use points — not at loads — so padding-induced
+// uninitialized copies (Figure 4) never raise false positives.
+type UseKind uint8
+
+// Use points.
+const (
+	// UseControlFlow is a branch or loop condition.
+	UseControlFlow UseKind = iota + 1
+	// UseAddress is using a value as (part of) a memory address.
+	UseAddress
+	// UseOutput is passing data to a system call (program output).
+	UseOutput
+)
+
+func (k UseKind) String() string {
+	switch k {
+	case UseControlFlow:
+		return "control-flow"
+	case UseAddress:
+		return "address"
+	case UseOutput:
+		return "output"
+	default:
+		return fmt.Sprintf("UseKind(%d)", uint8(k))
+	}
+}
+
+// HeapBackend is the execution substrate the interpreter drives. Three
+// implementations exist: the native backend below (raw allocator, no
+// checking), the shadow-memory analysis backend (package shadow), and
+// the online defended backend (package defense). The ccid argument is
+// the calling-context ID current at the operation; allocation-type
+// calls receive the allocation-time CCID the paper's patches key on.
+type HeapBackend interface {
+	// Alloc services malloc/calloc/memalign/aligned_alloc. n is the
+	// calloc element count (1 otherwise); align is 0 except for aligned
+	// allocations.
+	Alloc(fn heapsim.AllocFn, ccid, n, size, align uint64) (uint64, error)
+	// Realloc services realloc; ccid is the CCID at the realloc call,
+	// which becomes the buffer's new allocation context (Section V).
+	Realloc(ccid, ptr, size uint64) (uint64, error)
+	// Free services free(ptr).
+	Free(ptr, ccid uint64) error
+	// Load reads n bytes at addr.
+	Load(addr, n, ccid uint64) (Value, error)
+	// Store writes v.Bytes at addr.
+	Store(addr uint64, v Value, ccid uint64) error
+	// Memcpy copies n bytes from src to dst.
+	Memcpy(dst, src, n, ccid uint64) error
+	// Memset fills n bytes at addr with b.
+	Memset(addr uint64, b byte, n, ccid uint64) error
+	// CheckUse inspects a value at a use point (analysis mode only).
+	CheckUse(v Value, use UseKind, ccid uint64)
+	// Cycles returns the backend's accumulated virtual-cycle cost (see
+	// the cost model in cost.go).
+	Cycles() uint64
+}
+
+// NativeBackend runs programs directly against the raw allocator with
+// no interposition: the paper's uninstrumented native execution, the
+// baseline all overhead numbers normalize against.
+type NativeBackend struct {
+	heap   *heapsim.Heap
+	space  *mem.Space
+	cycles uint64
+}
+
+var _ HeapBackend = (*NativeBackend)(nil)
+
+// NewNativeBackend creates a native backend over a fresh heap.
+func NewNativeBackend(space *mem.Space) (*NativeBackend, error) {
+	h, err := heapsim.New(space)
+	if err != nil {
+		return nil, err
+	}
+	return &NativeBackend{heap: h, space: space}, nil
+}
+
+// Heap exposes the underlying allocator (for statistics).
+func (nb *NativeBackend) Heap() *heapsim.Heap { return nb.heap }
+
+// Alloc implements HeapBackend.
+func (nb *NativeBackend) Alloc(fn heapsim.AllocFn, _, n, size, align uint64) (uint64, error) {
+	nb.cycles += CycAlloc
+	switch fn {
+	case heapsim.FnMalloc:
+		return nb.heap.Malloc(size)
+	case heapsim.FnCalloc:
+		return nb.heap.Calloc(n, size)
+	case heapsim.FnMemalign, heapsim.FnAlignedAlloc:
+		return nb.heap.Memalign(align, size)
+	default:
+		return 0, fmt.Errorf("prog: Alloc with unsupported function %v", fn)
+	}
+}
+
+// Realloc implements HeapBackend.
+func (nb *NativeBackend) Realloc(_, ptr, size uint64) (uint64, error) {
+	nb.cycles += CycAlloc
+	return nb.heap.Realloc(ptr, size)
+}
+
+// Free implements HeapBackend.
+func (nb *NativeBackend) Free(ptr, _ uint64) error {
+	nb.cycles += CycFree
+	return nb.heap.Free(ptr)
+}
+
+// Load implements HeapBackend.
+func (nb *NativeBackend) Load(addr, n, _ uint64) (Value, error) {
+	nb.cycles += CycMemOp + n/CycBytesPerCycle
+	b, err := nb.space.Read(addr, n)
+	if err != nil {
+		return Value{}, err
+	}
+	return Value{Bytes: b}, nil
+}
+
+// Store implements HeapBackend.
+func (nb *NativeBackend) Store(addr uint64, v Value, _ uint64) error {
+	nb.cycles += CycMemOp + uint64(len(v.Bytes))/CycBytesPerCycle
+	return nb.space.Write(addr, v.Bytes)
+}
+
+// Memcpy implements HeapBackend.
+func (nb *NativeBackend) Memcpy(dst, src, n, _ uint64) error {
+	nb.cycles += CycMemOp + n/CycBytesPerCycle
+	return nb.space.Memmove(dst, src, n)
+}
+
+// Memset implements HeapBackend.
+func (nb *NativeBackend) Memset(addr uint64, b byte, n, _ uint64) error {
+	nb.cycles += CycMemOp + n/CycBytesPerCycle
+	return nb.space.Memset(addr, b, n)
+}
+
+// CheckUse implements HeapBackend: native execution checks nothing.
+func (nb *NativeBackend) CheckUse(Value, UseKind, uint64) {}
+
+// Cycles implements HeapBackend.
+func (nb *NativeBackend) Cycles() uint64 { return nb.cycles }

@@ -1,0 +1,708 @@
+package prog
+
+import (
+	"errors"
+	"fmt"
+
+	"heaptherapy/internal/encoding"
+	"heaptherapy/internal/heapsim"
+)
+
+// Config configures an interpreter.
+type Config struct {
+	// Backend is the heap/memory substrate (native, shadow, defended).
+	Backend HeapBackend
+	// Coder applies calling-context encoding at instrumented call
+	// sites; nil runs the program uninstrumented.
+	Coder *encoding.Coder
+	// MaxSteps bounds execution (0 = DefaultMaxSteps).
+	MaxSteps uint64
+	// MaxDepth bounds call recursion (0 = DefaultMaxDepth).
+	MaxDepth int
+}
+
+// Interpreter limits.
+const (
+	// DefaultMaxSteps is the default statement budget per run.
+	DefaultMaxSteps = 200_000_000
+	// DefaultMaxDepth is the default call-stack depth limit.
+	DefaultMaxDepth = 4096
+)
+
+// Result reports one program execution.
+type Result struct {
+	// Output is everything the program emitted (the attack-visible
+	// channel: leaked secrets show up here).
+	Output []byte
+	// Returned is the entry function's return value.
+	Returned Value
+	// Fault is non-nil if execution was terminated by a memory fault
+	// (the simulation's SIGSEGV, e.g. a guard-page hit) or a heap
+	// error; the program "crashed" rather than completing.
+	Fault error
+
+	// Steps is the number of statements executed.
+	Steps uint64
+	// Cycles is the virtual-cycle cost (see cost.go), including the
+	// backend's own accounting.
+	Cycles uint64
+	// InterpCycles is the interpreter-side cost alone (no backend
+	// delta); with a shared backend (RunThreads) the per-thread backend
+	// deltas overlap, so aggregate cost is the sum of InterpCycles plus
+	// the backend's total Cycles().
+	InterpCycles uint64
+	// EncUpdates counts encoding updates executed at instrumented
+	// sites.
+	EncUpdates uint64
+	// Allocs and Frees count heap operations issued.
+	Allocs, Frees uint64
+	// AllocsByFn breaks allocations down by API (Table IV's columns);
+	// index with heapsim.AllocFn values.
+	AllocsByFn [8]uint64
+}
+
+// Crashed reports whether the run ended in a fault.
+func (r *Result) Crashed() bool { return r.Fault != nil }
+
+// Interp executes a linked Program against a backend.
+type Interp struct {
+	p         *Program
+	backend   HeapBackend
+	coder     *encoding.Coder
+	maxSteps  uint64
+	maxDepth  int
+	funcInstr map[string]bool // function contains >=1 instrumented site
+
+	// Per-run state.
+	input      []byte
+	inPos      int
+	output     []byte
+	v          uint64 // the thread-local CCID variable V
+	steps      uint64
+	cycles     uint64
+	encUpdates uint64
+	allocs     uint64
+	allocsByFn [8]uint64
+	frees      uint64
+	depth      int
+	fault      error
+	globals    map[string]Value
+
+	// Cooperative scheduling hooks for RunThreads: when yield is set,
+	// the interpreter calls it every yieldEvery statements.
+	yield      func()
+	yieldEvery uint64
+}
+
+// tick accounts one statement and enforces the step budget and the
+// scheduling quantum.
+func (it *Interp) tick() error {
+	it.steps++
+	it.cycles += CycStmt
+	if it.steps > it.maxSteps {
+		return fmt.Errorf("prog %s: step limit %d exceeded", it.p.Name, it.maxSteps)
+	}
+	if it.yield != nil && it.steps%it.yieldEvery == 0 {
+		it.yield()
+	}
+	return nil
+}
+
+// errCrashed signals a terminating memory/heap fault up the exec stack;
+// the fault itself is held in Interp.fault.
+var errCrashed = errors.New("prog: execution terminated by fault")
+
+// New creates an interpreter for a linked program.
+func New(p *Program, cfg Config) (*Interp, error) {
+	if p.graph == nil {
+		return nil, fmt.Errorf("prog %s: program is not linked", p.Name)
+	}
+	if cfg.Backend == nil {
+		return nil, errors.New("prog: Config.Backend is required")
+	}
+	it := &Interp{
+		p:        p,
+		backend:  cfg.Backend,
+		coder:    cfg.Coder,
+		maxSteps: cfg.MaxSteps,
+		maxDepth: cfg.MaxDepth,
+	}
+	if it.maxSteps == 0 {
+		it.maxSteps = DefaultMaxSteps
+	}
+	if it.maxDepth == 0 {
+		it.maxDepth = DefaultMaxDepth
+	}
+	if cfg.Coder != nil {
+		it.funcInstr = make(map[string]bool, len(p.Funcs))
+		for name, f := range p.Funcs {
+			it.funcInstr[name] = bodyHasInstrumentedSite(f.Body, cfg.Coder)
+		}
+	}
+	return it, nil
+}
+
+func bodyHasInstrumentedSite(body []Stmt, coder *encoding.Coder) bool {
+	for _, s := range body {
+		switch st := s.(type) {
+		case Call:
+			if coder.Instrumented(st.site) {
+				return true
+			}
+		case Alloc:
+			if coder.Instrumented(st.site) {
+				return true
+			}
+		case ReallocStmt:
+			if coder.Instrumented(st.site) {
+				return true
+			}
+		case If:
+			if bodyHasInstrumentedSite(st.Then, coder) || bodyHasInstrumentedSite(st.Else, coder) {
+				return true
+			}
+		case While:
+			if bodyHasInstrumentedSite(st.Body, coder) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+type frame struct {
+	vars map[string]Value
+	t    uint64 // V read at the function prologue
+}
+
+// Run executes the program on the given input and returns the result.
+// Returned errors indicate malformed programs (undefined variables,
+// step-limit exhaustion); memory faults end the run normally with
+// Result.Fault set, mirroring a crashed process.
+func (it *Interp) Run(input []byte) (*Result, error) {
+	it.input = input
+	it.inPos = 0
+	it.output = nil
+	it.v = 0
+	it.steps = 0
+	it.cycles = 0
+	it.encUpdates = 0
+	it.allocs = 0
+	it.allocsByFn = [8]uint64{}
+	it.frees = 0
+	it.depth = 0
+	it.fault = nil
+	it.globals = make(map[string]Value)
+	startCycles := it.backend.Cycles()
+
+	entry := it.p.Funcs[it.p.Entry]
+	f := &frame{vars: make(map[string]Value), t: it.v}
+	_, ret, err := it.execBlock(entry.Body, f)
+	res := &Result{
+		Output:     it.output,
+		Returned:   ret,
+		Steps:      it.steps,
+		EncUpdates: it.encUpdates,
+		Allocs:     it.allocs,
+		AllocsByFn: it.allocsByFn,
+		Frees:      it.frees,
+	}
+	res.InterpCycles = it.cycles
+	res.Cycles = it.cycles + (it.backend.Cycles() - startCycles)
+	if err != nil {
+		if errors.Is(err, errCrashed) {
+			res.Fault = it.fault
+			return res, nil
+		}
+		return nil, err
+	}
+	return res, nil
+}
+
+// crash records a fault and returns the crash sentinel.
+func (it *Interp) crash(err error) error {
+	it.fault = err
+	return errCrashed
+}
+
+// execBlock runs a statement list; returned reports whether a Return
+// was executed.
+func (it *Interp) execBlock(body []Stmt, f *frame) (returned bool, ret Value, err error) {
+	for _, s := range body {
+		if err := it.tick(); err != nil {
+			return false, Value{}, err
+		}
+		switch st := s.(type) {
+		case Nop:
+			// Costs the base step only.
+
+		case Assign:
+			v, err := it.eval(st.E, f)
+			if err != nil {
+				return false, Value{}, err
+			}
+			f.vars[st.Dst] = v
+
+		case SetGlobal:
+			v, err := it.eval(st.E, f)
+			if err != nil {
+				return false, Value{}, err
+			}
+			it.globals[st.Dst] = v
+
+		case Alloc:
+			if err := it.execAlloc(st, f); err != nil {
+				return false, Value{}, err
+			}
+
+		case ReallocStmt:
+			if err := it.execRealloc(st, f); err != nil {
+				return false, Value{}, err
+			}
+
+		case FreeStmt:
+			ptr, err := it.eval(st.Ptr, f)
+			if err != nil {
+				return false, Value{}, err
+			}
+			it.backend.CheckUse(ptr, UseAddress, it.v)
+			it.frees++
+			if err := it.backend.Free(ptr.Uint(), it.v); err != nil {
+				return false, Value{}, it.crash(err)
+			}
+
+		case Load:
+			addr, err := it.evalAddr(st.Base, st.Off, f)
+			if err != nil {
+				return false, Value{}, err
+			}
+			n, err := it.eval(st.N, f)
+			if err != nil {
+				return false, Value{}, err
+			}
+			v, lerr := it.backend.Load(addr, n.Uint(), it.v)
+			if lerr != nil {
+				return false, Value{}, it.crash(lerr)
+			}
+			f.vars[st.Dst] = v
+
+		case Store:
+			addr, err := it.evalAddr(st.Base, st.Off, f)
+			if err != nil {
+				return false, Value{}, err
+			}
+			src, err := it.eval(st.Src, f)
+			if err != nil {
+				return false, Value{}, err
+			}
+			n := uint64(8)
+			if st.N != nil {
+				nv, err := it.eval(st.N, f)
+				if err != nil {
+					return false, Value{}, err
+				}
+				n = nv.Uint()
+				if n > 8 {
+					n = 8
+				}
+			}
+			if serr := it.backend.Store(addr, src.Slice(0, int(n)), it.v); serr != nil {
+				return false, Value{}, it.crash(serr)
+			}
+
+		case StoreVar:
+			addr, err := it.evalAddr(st.Base, st.Off, f)
+			if err != nil {
+				return false, Value{}, err
+			}
+			src, ok := f.vars[st.Src]
+			if !ok {
+				return false, Value{}, fmt.Errorf("prog %s: undefined variable %q", it.p.Name, st.Src)
+			}
+			if serr := it.backend.Store(addr, src, it.v); serr != nil {
+				return false, Value{}, it.crash(serr)
+			}
+
+		case StoreBytes:
+			addr, err := it.evalAddr(st.Base, st.Off, f)
+			if err != nil {
+				return false, Value{}, err
+			}
+			if serr := it.backend.Store(addr, Value{Bytes: st.Data}, it.v); serr != nil {
+				return false, Value{}, it.crash(serr)
+			}
+
+		case Memcpy:
+			dst, err := it.eval(st.Dst, f)
+			if err != nil {
+				return false, Value{}, err
+			}
+			src, err := it.eval(st.Src, f)
+			if err != nil {
+				return false, Value{}, err
+			}
+			n, err := it.eval(st.N, f)
+			if err != nil {
+				return false, Value{}, err
+			}
+			it.backend.CheckUse(dst, UseAddress, it.v)
+			it.backend.CheckUse(src, UseAddress, it.v)
+			if merr := it.backend.Memcpy(dst.Uint(), src.Uint(), n.Uint(), it.v); merr != nil {
+				return false, Value{}, it.crash(merr)
+			}
+
+		case Memset:
+			dst, err := it.eval(st.Dst, f)
+			if err != nil {
+				return false, Value{}, err
+			}
+			b, err := it.eval(st.B, f)
+			if err != nil {
+				return false, Value{}, err
+			}
+			n, err := it.eval(st.N, f)
+			if err != nil {
+				return false, Value{}, err
+			}
+			it.backend.CheckUse(dst, UseAddress, it.v)
+			if merr := it.backend.Memset(dst.Uint(), byte(b.Uint()), n.Uint(), it.v); merr != nil {
+				return false, Value{}, it.crash(merr)
+			}
+
+		case ReadInput:
+			n, err := it.eval(st.N, f)
+			if err != nil {
+				return false, Value{}, err
+			}
+			take := int(n.Uint())
+			if rem := len(it.input) - it.inPos; take > rem {
+				take = rem
+			}
+			buf := make([]byte, take)
+			copy(buf, it.input[it.inPos:it.inPos+take])
+			it.inPos += take
+			f.vars[st.Dst] = Value{Bytes: buf}
+
+		case Output:
+			addr, err := it.evalAddr(st.Base, st.Off, f)
+			if err != nil {
+				return false, Value{}, err
+			}
+			n, err := it.eval(st.N, f)
+			if err != nil {
+				return false, Value{}, err
+			}
+			v, lerr := it.backend.Load(addr, n.Uint(), it.v)
+			if lerr != nil {
+				return false, Value{}, it.crash(lerr)
+			}
+			it.backend.CheckUse(v, UseOutput, it.v)
+			it.output = append(it.output, v.Bytes...)
+
+		case OutputVar:
+			v, ok := f.vars[st.Src]
+			if !ok {
+				return false, Value{}, fmt.Errorf("prog %s: undefined variable %q", it.p.Name, st.Src)
+			}
+			it.backend.CheckUse(v, UseOutput, it.v)
+			it.output = append(it.output, v.Bytes...)
+
+		case If:
+			cond, err := it.eval(st.Cond, f)
+			if err != nil {
+				return false, Value{}, err
+			}
+			it.backend.CheckUse(cond, UseControlFlow, it.v)
+			block := st.Then
+			if cond.Uint() == 0 {
+				block = st.Else
+			}
+			r, rv, err := it.execBlock(block, f)
+			if err != nil || r {
+				return r, rv, err
+			}
+
+		case While:
+			for {
+				if err := it.tick(); err != nil {
+					return false, Value{}, err
+				}
+				cond, err := it.eval(st.Cond, f)
+				if err != nil {
+					return false, Value{}, err
+				}
+				it.backend.CheckUse(cond, UseControlFlow, it.v)
+				if cond.Uint() == 0 {
+					break
+				}
+				r, rv, err := it.execBlock(st.Body, f)
+				if err != nil || r {
+					return r, rv, err
+				}
+			}
+
+		case Call:
+			rv, err := it.execCall(st, f)
+			if err != nil {
+				return false, Value{}, err
+			}
+			if st.Dst != "" {
+				f.vars[st.Dst] = rv
+			}
+
+		case Return:
+			if st.E == nil {
+				return true, Value{}, nil
+			}
+			v, err := it.eval(st.E, f)
+			if err != nil {
+				return false, Value{}, err
+			}
+			return true, v, nil
+
+		default:
+			return false, Value{}, fmt.Errorf("prog %s: unknown statement %T", it.p.Name, s)
+		}
+	}
+	return false, Value{}, nil
+}
+
+func (it *Interp) execAlloc(st Alloc, f *frame) error {
+	size, err := it.eval(st.Size, f)
+	if err != nil {
+		return err
+	}
+	n := uint64(1)
+	if st.N != nil {
+		nv, err := it.eval(st.N, f)
+		if err != nil {
+			return err
+		}
+		n = nv.Uint()
+	}
+	align := uint64(0)
+	if st.Align != nil {
+		av, err := it.eval(st.Align, f)
+		if err != nil {
+			return err
+		}
+		align = av.Uint()
+	}
+	ccid := it.v
+	switch {
+	case st.CCID != nil:
+		cv, err := it.eval(st.CCID, f)
+		if err != nil {
+			return err
+		}
+		ccid = cv.Uint()
+		it.encUpdates++
+		it.cycles += CycEncUpdatePCC
+	case it.coder != nil && it.coder.Instrumented(st.site):
+		ccid = it.coder.Update(f.t, st.site)
+		it.encUpdates++
+		it.cycles += it.encCost()
+	}
+	it.allocs++
+	it.allocsByFn[st.Fn]++
+	ptr, aerr := it.backend.Alloc(st.Fn, ccid, n, size.Uint(), align)
+	if aerr != nil {
+		return it.crash(aerr)
+	}
+	f.vars[st.Dst] = Scalar(ptr)
+	return nil
+}
+
+func (it *Interp) execRealloc(st ReallocStmt, f *frame) error {
+	ptr, err := it.eval(st.Ptr, f)
+	if err != nil {
+		return err
+	}
+	size, err := it.eval(st.Size, f)
+	if err != nil {
+		return err
+	}
+	ccid := it.v
+	switch {
+	case st.CCID != nil:
+		cv, err := it.eval(st.CCID, f)
+		if err != nil {
+			return err
+		}
+		ccid = cv.Uint()
+		it.encUpdates++
+		it.cycles += CycEncUpdatePCC
+	case it.coder != nil && it.coder.Instrumented(st.site):
+		ccid = it.coder.Update(f.t, st.site)
+		it.encUpdates++
+		it.cycles += it.encCost()
+	}
+	it.allocs++
+	it.allocsByFn[heapsim.FnRealloc]++
+	newPtr, rerr := it.backend.Realloc(ccid, ptr.Uint(), size.Uint())
+	if rerr != nil {
+		return it.crash(rerr)
+	}
+	f.vars[st.Dst] = Scalar(newPtr)
+	return nil
+}
+
+func (it *Interp) execCall(st Call, f *frame) (Value, error) {
+	callee := it.p.Funcs[st.Callee]
+	args := make([]Value, len(st.Args))
+	for i, a := range st.Args {
+		v, err := it.eval(a, f)
+		if err != nil {
+			return Value{}, err
+		}
+		args[i] = v
+	}
+	if len(args) != len(callee.Params) {
+		return Value{}, fmt.Errorf("prog %s: call to %s with %d args, want %d",
+			it.p.Name, st.Callee, len(args), len(callee.Params))
+	}
+	it.depth++
+	if it.depth > it.maxDepth {
+		it.depth--
+		return Value{}, fmt.Errorf("prog %s: call depth limit %d exceeded", it.p.Name, it.maxDepth)
+	}
+	defer func() { it.depth-- }()
+
+	instrumented := it.coder != nil && it.coder.Instrumented(st.site)
+	if instrumented {
+		it.v = it.coder.Update(f.t, st.site)
+		it.encUpdates++
+		it.cycles += it.encCost()
+	}
+	it.cycles += CycCall
+	nf := &frame{vars: make(map[string]Value, len(args)), t: it.v}
+	for i, p := range callee.Params {
+		nf.vars[p] = args[i]
+	}
+	if it.funcInstr != nil && it.funcInstr[st.Callee] {
+		it.cycles += CycEncPrologue
+	}
+	_, ret, err := it.execBlock(callee.Body, nf)
+	// Restore discipline: V returns to the caller's context value. For
+	// uninstrumented sites this is a no-op by the invariant that every
+	// callee restores V before returning.
+	it.v = f.t
+	if err != nil {
+		return Value{}, err
+	}
+	return ret, nil
+}
+
+// encCost is the virtual-cycle cost of one encoding update under the
+// bound encoder kind.
+func (it *Interp) encCost() uint64 {
+	if it.coder.Kind() == encoding.EncoderPCC {
+		return CycEncUpdatePCC
+	}
+	return CycEncUpdateAdditive
+}
+
+// evalAddr evaluates base+off, applying address use-point checks.
+func (it *Interp) evalAddr(base, off Expr, f *frame) (uint64, error) {
+	b, err := it.eval(base, f)
+	if err != nil {
+		return 0, err
+	}
+	it.backend.CheckUse(b, UseAddress, it.v)
+	if off == nil {
+		return b.Uint(), nil
+	}
+	o, err := it.eval(off, f)
+	if err != nil {
+		return 0, err
+	}
+	it.backend.CheckUse(o, UseAddress, it.v)
+	return b.Uint() + o.Uint(), nil
+}
+
+func (it *Interp) eval(e Expr, f *frame) (Value, error) {
+	switch ex := e.(type) {
+	case Const:
+		return Scalar(ex.V), nil
+	case Var:
+		v, ok := f.vars[ex.Name]
+		if !ok {
+			return Value{}, fmt.Errorf("prog %s: undefined variable %q", it.p.Name, ex.Name)
+		}
+		return v, nil
+	case InputLen:
+		return Scalar(uint64(len(it.input))), nil
+	case InputRemaining:
+		return Scalar(uint64(len(it.input) - it.inPos)), nil
+	case Global:
+		if v, ok := it.globals[ex.Name]; ok {
+			return v, nil
+		}
+		return Scalar(0), nil
+	case Bin:
+		a, err := it.eval(ex.A, f)
+		if err != nil {
+			return Value{}, err
+		}
+		b, err := it.eval(ex.B, f)
+		if err != nil {
+			return Value{}, err
+		}
+		return applyBin(ex.Op, a, b)
+	default:
+		return Value{}, fmt.Errorf("prog %s: unknown expression %T", it.p.Name, e)
+	}
+}
+
+func applyBin(op BinOp, a, b Value) (Value, error) {
+	x, y := a.Uint(), b.Uint()
+	var r uint64
+	switch op {
+	case OpAdd:
+		r = x + y
+	case OpSub:
+		r = x - y
+	case OpMul:
+		r = x * y
+	case OpDiv:
+		if y != 0 {
+			r = x / y
+		}
+	case OpMod:
+		if y != 0 {
+			r = x % y
+		}
+	case OpAnd:
+		r = x & y
+	case OpOr:
+		r = x | y
+	case OpXor:
+		r = x ^ y
+	case OpShl:
+		r = x << (y & 63)
+	case OpShr:
+		r = x >> (y & 63)
+	case OpLt:
+		r = b2u(x < y)
+	case OpLe:
+		r = b2u(x <= y)
+	case OpEq:
+		r = b2u(x == y)
+	case OpNe:
+		r = b2u(x != y)
+	case OpGt:
+		r = b2u(x > y)
+	case OpGe:
+		r = b2u(x >= y)
+	default:
+		return Value{}, fmt.Errorf("prog: unknown binary op %d", op)
+	}
+	return combineScalar(r, a, b), nil
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

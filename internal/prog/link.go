@@ -1,0 +1,135 @@
+package prog
+
+import (
+	"fmt"
+	"sort"
+
+	"heaptherapy/internal/callgraph"
+	"heaptherapy/internal/heapsim"
+)
+
+// Link finalizes a program: it validates call targets, derives the call
+// graph (one edge per static Call/Alloc/ReallocStmt site, exactly what
+// the paper's LLVM pass sees), and assigns SiteIDs to the statements.
+// Programs must be linked before interpretation or planning.
+func Link(p *Program) error {
+	if p.Entry == "" {
+		p.Entry = "main"
+	}
+	if _, ok := p.Funcs[p.Entry]; !ok {
+		return fmt.Errorf("prog %s: entry function %q not defined", p.Name, p.Entry)
+	}
+	for name, f := range p.Funcs {
+		if f.Name == "" {
+			f.Name = name
+		}
+		if f.Name != name {
+			return fmt.Errorf("prog %s: function map key %q != Func.Name %q", p.Name, name, f.Name)
+		}
+	}
+
+	b := callgraph.NewBuilder()
+	// Entry first so it is node 0 and a root; remaining functions in
+	// sorted order for determinism.
+	b.AddFunc(p.Entry)
+	names := make([]string, 0, len(p.Funcs))
+	for name := range p.Funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b.AddFunc(name)
+	}
+
+	usedTargets := make(map[string]bool)
+	for _, name := range names {
+		f := p.Funcs[name]
+		var err error
+		f.Body, err = linkBody(p, b, name, f.Body, usedTargets)
+		if err != nil {
+			return err
+		}
+	}
+
+	p.graph = b.Build()
+	p.targets = nil
+	targetNames := make([]string, 0, len(usedTargets))
+	for t := range usedTargets {
+		targetNames = append(targetNames, t)
+	}
+	sort.Strings(targetNames)
+	for _, t := range targetNames {
+		p.targets = append(p.targets, p.graph.NodeByName(t))
+	}
+	return nil
+}
+
+// linkBody rewrites a statement list, assigning call sites; it recurses
+// into If/While blocks.
+func linkBody(p *Program, b *callgraph.Builder, caller string, body []Stmt, used map[string]bool) ([]Stmt, error) {
+	out := make([]Stmt, len(body))
+	for i, s := range body {
+		switch st := s.(type) {
+		case Call:
+			if _, ok := p.Funcs[st.Callee]; !ok {
+				return nil, fmt.Errorf("prog %s: %s calls undefined function %q", p.Name, caller, st.Callee)
+			}
+			st.site = b.AddCall(caller, st.Callee)
+			out[i] = st
+		case Alloc:
+			if st.Fn == 0 {
+				st.Fn = heapsim.FnMalloc
+			}
+			target := st.Fn.String()
+			st.site = b.AddCall(caller, target)
+			used[target] = true
+			out[i] = st
+		case ReallocStmt:
+			target := heapsim.FnRealloc.String()
+			st.site = b.AddCall(caller, target)
+			used[target] = true
+			out[i] = st
+		case If:
+			then, err := linkBody(p, b, caller, st.Then, used)
+			if err != nil {
+				return nil, err
+			}
+			els, err := linkBody(p, b, caller, st.Else, used)
+			if err != nil {
+				return nil, err
+			}
+			st.Then, st.Else = then, els
+			out[i] = st
+		case While:
+			inner, err := linkBody(p, b, caller, st.Body, used)
+			if err != nil {
+				return nil, err
+			}
+			st.Body = inner
+			out[i] = st
+		default:
+			out[i] = s
+		}
+	}
+	return out, nil
+}
+
+// MustLink links p and panics on error; for statically-known test and
+// corpus programs whose well-formedness is a programming invariant.
+func MustLink(p *Program) *Program {
+	if err := Link(p); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Site returns the call-graph site the linker assigned to this call.
+func (c Call) Site() callgraph.SiteID { return c.site }
+
+// Site returns the call-graph site the linker assigned to this
+// allocation.
+func (a Alloc) Site() callgraph.SiteID { return a.site }
+
+// Site returns the call-graph site the linker assigned to this
+// realloc.
+func (r ReallocStmt) Site() callgraph.SiteID { return r.site }

@@ -1,0 +1,36 @@
+package progtext
+
+import (
+	"testing"
+
+	"heaptherapy/internal/vuln"
+)
+
+// FuzzParse throws arbitrary bytes at the parser: it must never panic,
+// and anything it accepts must survive a print/parse round trip.
+// `go test` exercises the seed corpus; `go test -fuzz=FuzzParse`
+// explores further.
+func FuzzParse(f *testing.F) {
+	f.Add(echoServer)
+	f.Add("program x\n\nfunc main {\n nop\n}\n")
+	f.Add("func main {\n alloc p = malloc(64) ctx global(__cc_v)\n free p\n}\n")
+	f.Add("func main {\n setglobal g = 1 + 2 * 3\n let x = global(g)\n}\n")
+	f.Add("func main {\n storebytes 0, \"\\x41\\\\\\\"\"\n}")
+	for _, c := range vuln.Named() {
+		f.Add(Print(c.Program))
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		text := Print(p)
+		back, err := Parse(text)
+		if err != nil {
+			t.Fatalf("printed form of accepted input does not re-parse: %v\n--- input ---\n%s\n--- printed ---\n%s", err, src, text)
+		}
+		if Print(back) != text {
+			t.Fatalf("print is not a fixed point for accepted input:\n%s", src)
+		}
+	})
+}

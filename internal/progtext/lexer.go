@@ -1,0 +1,277 @@
+// Package progtext implements a textual format for the programs the
+// system protects, so the command-line tools can analyze and defend
+// user-authored programs rather than only the built-in corpus.
+//
+// The format is line-oriented and small. A complete vulnerable server:
+//
+//	program echo
+//
+//	func main {
+//	    call handle
+//	}
+//
+//	func handle {
+//	    alloc reply = malloc(64)
+//	    alloc key = malloc(64)
+//	    storebytes key, "session-key"
+//	    memset reply, 46, 64
+//	    input len, 2
+//	    output reply, len        # the bug: attacker-controlled length
+//	}
+//
+// Statements: let, alloc, realloc, free, load, store, storevar,
+// storebytes, memcpy, memset, input, output, outputvar, call, return,
+// nop, and if/while blocks. Expressions support the usual integer
+// operators with C precedence, plus the intrinsics inputlen and
+// inputrem. See the package tests for the full grammar by example.
+package progtext
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct // single/multi char operators and delimiters
+	tokNewline
+)
+
+// token is one lexeme with its source position.
+type token struct {
+	kind tokenKind
+	text string
+	num  uint64
+	str  []byte // decoded string literal
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of file"
+	case tokNewline:
+		return "end of line"
+	case tokString:
+		return fmt.Sprintf("string %q", t.str)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lexer tokenizes progtext source.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1}
+}
+
+// punctuation, longest first so the scanner is greedy.
+var puncts = []string{
+	"<<", ">>", "<=", ">=", "==", "!=",
+	"(", ")", "{", "}", ",", "=", "+", "-", "*", "/", "%", "&", "|", "^", "<", ">",
+}
+
+// next returns the next token. Newlines are significant (statement
+// terminators) and returned as tokens; runs collapse to one.
+func (lx *lexer) next() (token, error) {
+	// Skip horizontal whitespace and comments.
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c == ' ' || c == '\t' || c == '\r' {
+			lx.pos++
+			continue
+		}
+		if c == '#' {
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+			continue
+		}
+		break
+	}
+	if lx.pos >= len(lx.src) {
+		return token{kind: tokEOF, line: lx.line}, nil
+	}
+	c := lx.src[lx.pos]
+
+	if c == '\n' {
+		t := token{kind: tokNewline, line: lx.line}
+		for lx.pos < len(lx.src) {
+			switch lx.src[lx.pos] {
+			case '\n':
+				lx.line++
+				lx.pos++
+			case ' ', '\t', '\r':
+				lx.pos++
+			case '#':
+				for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+					lx.pos++
+				}
+			default:
+				return t, nil
+			}
+		}
+		return t, nil
+	}
+
+	if isIdentStart(c) {
+		start := lx.pos
+		for lx.pos < len(lx.src) && isIdentPart(lx.src[lx.pos]) {
+			lx.pos++
+		}
+		return token{kind: tokIdent, text: lx.src[start:lx.pos], line: lx.line}, nil
+	}
+
+	if c >= '0' && c <= '9' {
+		start := lx.pos
+		base := uint64(10)
+		if c == '0' && lx.pos+1 < len(lx.src) && (lx.src[lx.pos+1] == 'x' || lx.src[lx.pos+1] == 'X') {
+			base = 16
+			lx.pos += 2
+		}
+		digits := 0
+		var v uint64
+		for lx.pos < len(lx.src) {
+			d := lx.src[lx.pos]
+			var dv uint64
+			switch {
+			case d >= '0' && d <= '9':
+				dv = uint64(d - '0')
+			case base == 16 && d >= 'a' && d <= 'f':
+				dv = uint64(d-'a') + 10
+			case base == 16 && d >= 'A' && d <= 'F':
+				dv = uint64(d-'A') + 10
+			case d == '_':
+				lx.pos++
+				continue
+			default:
+				goto done
+			}
+			if dv >= base {
+				return token{}, fmt.Errorf("line %d: bad digit %q", lx.line, d)
+			}
+			v = v*base + dv
+			digits++
+			lx.pos++
+		}
+	done:
+		if digits == 0 {
+			return token{}, fmt.Errorf("line %d: malformed number %q", lx.line, lx.src[start:lx.pos])
+		}
+		return token{kind: tokNumber, text: lx.src[start:lx.pos], num: v, line: lx.line}, nil
+	}
+
+	if c == '"' {
+		lx.pos++
+		var out []byte
+		for {
+			if lx.pos >= len(lx.src) {
+				return token{}, fmt.Errorf("line %d: unterminated string", lx.line)
+			}
+			ch := lx.src[lx.pos]
+			lx.pos++
+			switch ch {
+			case '"':
+				return token{kind: tokString, str: out, line: lx.line}, nil
+			case '\n':
+				return token{}, fmt.Errorf("line %d: newline in string", lx.line)
+			case '\\':
+				if lx.pos >= len(lx.src) {
+					return token{}, fmt.Errorf("line %d: dangling escape", lx.line)
+				}
+				esc := lx.src[lx.pos]
+				lx.pos++
+				switch esc {
+				case 'n':
+					out = append(out, '\n')
+				case 't':
+					out = append(out, '\t')
+				case '\\', '"':
+					out = append(out, esc)
+				case 'x':
+					if lx.pos+1 >= len(lx.src) {
+						return token{}, fmt.Errorf("line %d: truncated \\x escape", lx.line)
+					}
+					hi, ok1 := hexVal(lx.src[lx.pos])
+					lo, ok2 := hexVal(lx.src[lx.pos+1])
+					if !ok1 || !ok2 {
+						return token{}, fmt.Errorf("line %d: bad \\x escape", lx.line)
+					}
+					out = append(out, hi<<4|lo)
+					lx.pos += 2
+				default:
+					return token{}, fmt.Errorf("line %d: unknown escape \\%c", lx.line, esc)
+				}
+			default:
+				out = append(out, ch)
+			}
+		}
+	}
+
+	for _, p := range puncts {
+		if strings.HasPrefix(lx.src[lx.pos:], p) {
+			lx.pos += len(p)
+			return token{kind: tokPunct, text: p, line: lx.line}, nil
+		}
+	}
+	return token{}, fmt.Errorf("line %d: unexpected character %q", lx.line, c)
+}
+
+// rawWord scans a whitespace-delimited word directly from the source,
+// bypassing tokenization. Program names may contain characters (like
+// '-') that are operators elsewhere, so the "program" header consumes
+// its name this way.
+func (lx *lexer) rawWord() (string, error) {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c == ' ' || c == '\t' || c == '\r' {
+			lx.pos++
+			continue
+		}
+		break
+	}
+	start := lx.pos
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '#' {
+			break
+		}
+		lx.pos++
+	}
+	if lx.pos == start {
+		return "", fmt.Errorf("line %d: expected a name", lx.line)
+	}
+	return lx.src[start:lx.pos], nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9') || c == '.'
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	default:
+		return 0, false
+	}
+}

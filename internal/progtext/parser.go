@@ -1,0 +1,664 @@
+package progtext
+
+import (
+	"fmt"
+
+	"heaptherapy/internal/heapsim"
+	"heaptherapy/internal/prog"
+)
+
+// Parse reads progtext source into a linked Program.
+func Parse(src string) (*prog.Program, error) {
+	p := &parser{lx: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	program, err := p.parseProgram()
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Link(program); err != nil {
+		return nil, fmt.Errorf("progtext: %w", err)
+	}
+	return program, nil
+}
+
+type parser struct {
+	lx  *lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("progtext: line %d: %s", p.tok.line, fmt.Sprintf(format, args...))
+}
+
+// expectPunct consumes a specific punctuation token.
+func (p *parser) expectPunct(s string) error {
+	if p.tok.kind != tokPunct || p.tok.text != s {
+		return p.errf("expected %q, found %s", s, p.tok)
+	}
+	return p.advance()
+}
+
+// expectIdent consumes and returns an identifier.
+func (p *parser) expectIdent() (string, error) {
+	if p.tok.kind != tokIdent {
+		return "", p.errf("expected identifier, found %s", p.tok)
+	}
+	name := p.tok.text
+	return name, p.advance()
+}
+
+// skipNewlines consumes any newline tokens.
+func (p *parser) skipNewlines() error {
+	for p.tok.kind == tokNewline {
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// endOfStmt consumes the statement terminator (newline, or lookahead
+// at a closing brace / EOF).
+func (p *parser) endOfStmt() error {
+	switch {
+	case p.tok.kind == tokNewline:
+		return p.advance()
+	case p.tok.kind == tokEOF:
+		return nil
+	case p.tok.kind == tokPunct && p.tok.text == "}":
+		return nil
+	default:
+		return p.errf("expected end of statement, found %s", p.tok)
+	}
+}
+
+func (p *parser) parseProgram() (*prog.Program, error) {
+	out := &prog.Program{Funcs: make(map[string]*prog.Func)}
+	if err := p.skipNewlines(); err != nil {
+		return nil, err
+	}
+	// Optional "program NAME" header; the name is a raw word so it may
+	// contain characters that are operators elsewhere (400.perlbench,
+	// samate-ofw-malloc-d1).
+	if p.tok.kind == tokIdent && p.tok.text == "program" {
+		name, err := p.lx.rawWord()
+		if err != nil {
+			return nil, err
+		}
+		out.Name = name
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.endOfStmt(); err != nil {
+			return nil, err
+		}
+	}
+	if out.Name == "" {
+		out.Name = "program"
+	}
+	for {
+		if err := p.skipNewlines(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind == tokEOF {
+			break
+		}
+		if p.tok.kind != tokIdent || p.tok.text != "func" {
+			return nil, p.errf("expected func, found %s", p.tok)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		f, err := p.parseFunc()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := out.Funcs[f.Name]; dup {
+			return nil, fmt.Errorf("progtext: duplicate function %q", f.Name)
+		}
+		out.Funcs[f.Name] = f
+	}
+	return out, nil
+}
+
+func (p *parser) parseFunc() (*prog.Func, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	f := &prog.Func{Name: name}
+	// Optional parameter list.
+	if p.tok.kind == tokPunct && p.tok.text == "(" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		for p.tok.kind == tokIdent {
+			f.Params = append(f.Params, p.tok.text)
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.tok.kind == tokPunct && p.tok.text == "," {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+// parseBlock parses "{ stmts }".
+func (p *parser) parseBlock() ([]prog.Stmt, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	var body []prog.Stmt
+	for {
+		if err := p.skipNewlines(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind == tokPunct && p.tok.text == "}" {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return body, nil
+		}
+		if p.tok.kind == tokEOF {
+			return nil, p.errf("unterminated block")
+		}
+		st, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, st)
+	}
+}
+
+func (p *parser) parseStmt() (prog.Stmt, error) {
+	if p.tok.kind != tokIdent {
+		return nil, p.errf("expected statement, found %s", p.tok)
+	}
+	kw := p.tok.text
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	switch kw {
+	case "let":
+		dst, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return prog.Assign{Dst: dst, E: e}, p.endOfStmt()
+
+	case "setglobal":
+		dst, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return prog.SetGlobal{Dst: dst, E: e}, p.endOfStmt()
+
+	case "alloc":
+		return p.parseAlloc()
+
+	case "realloc":
+		dst, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		fn, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if fn != "realloc" {
+			return nil, p.errf("realloc statement requires realloc(ptr, size)")
+		}
+		args, err := p.parseArgs()
+		if err != nil {
+			return nil, err
+		}
+		if len(args) != 2 {
+			return nil, p.errf("realloc takes (ptr, size)")
+		}
+		ccid, err := p.parseCtxSuffix()
+		if err != nil {
+			return nil, err
+		}
+		return prog.ReallocStmt{Dst: dst, Ptr: args[0], Size: args[1], CCID: ccid}, p.endOfStmt()
+
+	case "free":
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return prog.FreeStmt{Ptr: e}, p.endOfStmt()
+
+	case "load":
+		dst, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		addr, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		n, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return prog.Load{Dst: dst, Base: addr, N: n}, p.endOfStmt()
+
+	case "store":
+		addr, src, n, err := p.parseThree()
+		if err != nil {
+			return nil, err
+		}
+		return prog.Store{Base: addr, Src: src, N: n}, p.endOfStmt()
+
+	case "storevar":
+		addr, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return prog.StoreVar{Base: addr, Src: name}, p.endOfStmt()
+
+	case "storebytes":
+		addr, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokString {
+			return nil, p.errf("storebytes requires a string literal")
+		}
+		data := append([]byte(nil), p.tok.str...)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return prog.StoreBytes{Base: addr, Data: data}, p.endOfStmt()
+
+	case "memcpy":
+		dst, src, n, err := p.parseThree()
+		if err != nil {
+			return nil, err
+		}
+		return prog.Memcpy{Dst: dst, Src: src, N: n}, p.endOfStmt()
+
+	case "memset":
+		dst, b, n, err := p.parseThree()
+		if err != nil {
+			return nil, err
+		}
+		return prog.Memset{Dst: dst, B: b, N: n}, p.endOfStmt()
+
+	case "input":
+		dst, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		if p.tok.kind == tokIdent && p.tok.text == "rest" {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return prog.ReadInput{Dst: dst, N: prog.InputRemaining{}}, p.endOfStmt()
+		}
+		n, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return prog.ReadInput{Dst: dst, N: n}, p.endOfStmt()
+
+	case "output":
+		addr, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		n, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return prog.Output{Base: addr, N: n}, p.endOfStmt()
+
+	case "outputvar":
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return prog.OutputVar{Src: name}, p.endOfStmt()
+
+	case "call":
+		return p.parseCall()
+
+	case "return":
+		if p.tok.kind == tokNewline || p.tok.kind == tokEOF ||
+			(p.tok.kind == tokPunct && p.tok.text == "}") {
+			return prog.Return{}, p.endOfStmt()
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return prog.Return{E: e}, p.endOfStmt()
+
+	case "nop":
+		return prog.Nop{}, p.endOfStmt()
+
+	case "if":
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		then, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		st := prog.If{Cond: cond, Then: then}
+		if p.tok.kind == tokIdent && p.tok.text == "else" {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			els, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+		return st, p.endOfStmt()
+
+	case "while":
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return prog.While{Cond: cond, Body: body}, p.endOfStmt()
+
+	default:
+		return nil, p.errf("unknown statement %q", kw)
+	}
+}
+
+// parseAlloc parses "alloc DST = fn(args...)".
+func (p *parser) parseAlloc() (prog.Stmt, error) {
+	dst, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("="); err != nil {
+		return nil, err
+	}
+	fnName, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	fn, err := heapsim.ParseAllocFn(fnName)
+	if err != nil {
+		return nil, p.errf("unknown allocation function %q", fnName)
+	}
+	args, err := p.parseArgs()
+	if err != nil {
+		return nil, err
+	}
+	st := prog.Alloc{Dst: dst, Fn: fn}
+	switch fn {
+	case heapsim.FnMalloc:
+		if len(args) != 1 {
+			return nil, p.errf("malloc takes (size)")
+		}
+		st.Size = args[0]
+	case heapsim.FnCalloc:
+		if len(args) != 2 {
+			return nil, p.errf("calloc takes (n, size)")
+		}
+		st.N, st.Size = args[0], args[1]
+	case heapsim.FnMemalign, heapsim.FnAlignedAlloc:
+		if len(args) != 2 {
+			return nil, p.errf("%s takes (align, size)", fnName)
+		}
+		st.Align, st.Size = args[0], args[1]
+	case heapsim.FnRealloc:
+		return nil, p.errf("use the realloc statement for realloc")
+	}
+	ccid, err := p.parseCtxSuffix()
+	if err != nil {
+		return nil, err
+	}
+	st.CCID = ccid
+	return st, p.endOfStmt()
+}
+
+// parseCtxSuffix parses the optional "ctx EXPR" trailer carrying an
+// explicit allocation-context expression (emitted by the
+// instrumentation rewriter).
+func (p *parser) parseCtxSuffix() (prog.Expr, error) {
+	if p.tok.kind != tokIdent || p.tok.text != "ctx" {
+		return nil, nil
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return p.parseExpr()
+}
+
+// parseCall parses "call [DST =] fn(args...)" or "call fn".
+func (p *parser) parseCall() (prog.Stmt, error) {
+	first, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st := prog.Call{Callee: first}
+	if p.tok.kind == tokPunct && p.tok.text == "=" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		st.Dst = first
+		callee, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		st.Callee = callee
+	}
+	if p.tok.kind == tokPunct && p.tok.text == "(" {
+		args, err := p.parseArgs()
+		if err != nil {
+			return nil, err
+		}
+		st.Args = args
+	}
+	return st, p.endOfStmt()
+}
+
+// parseArgs parses "(expr, expr, ...)".
+func (p *parser) parseArgs() ([]prog.Expr, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var args []prog.Expr
+	if p.tok.kind == tokPunct && p.tok.text == ")" {
+		return args, p.advance()
+	}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, e)
+		if p.tok.kind == tokPunct && p.tok.text == "," {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		return args, p.expectPunct(")")
+	}
+}
+
+// parseThree parses "expr, expr, expr".
+func (p *parser) parseThree() (a, b, c prog.Expr, err error) {
+	if a, err = p.parseExpr(); err != nil {
+		return
+	}
+	if err = p.expectPunct(","); err != nil {
+		return
+	}
+	if b, err = p.parseExpr(); err != nil {
+		return
+	}
+	if err = p.expectPunct(","); err != nil {
+		return
+	}
+	c, err = p.parseExpr()
+	return
+}
+
+// --- expressions (precedence climbing) --------------------------------------
+
+// binding powers per operator, C-like.
+var binOps = map[string]struct {
+	prec int
+	op   prog.BinOp
+}{
+	"|":  {1, prog.OpOr},
+	"^":  {2, prog.OpXor},
+	"&":  {3, prog.OpAnd},
+	"==": {4, prog.OpEq},
+	"!=": {4, prog.OpNe},
+	"<":  {5, prog.OpLt},
+	"<=": {5, prog.OpLe},
+	">":  {5, prog.OpGt},
+	">=": {5, prog.OpGe},
+	"<<": {6, prog.OpShl},
+	">>": {6, prog.OpShr},
+	"+":  {7, prog.OpAdd},
+	"-":  {7, prog.OpSub},
+	"*":  {8, prog.OpMul},
+	"/":  {8, prog.OpDiv},
+	"%":  {8, prog.OpMod},
+}
+
+func (p *parser) parseExpr() (prog.Expr, error) { return p.parseBin(0) }
+
+func (p *parser) parseBin(minPrec int) (prog.Expr, error) {
+	lhs, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokPunct {
+		info, ok := binOps[p.tok.text]
+		if !ok || info.prec < minPrec {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseBin(info.prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = prog.Bin{Op: info.op, A: lhs, B: rhs}
+	}
+	return lhs, nil
+}
+
+func (p *parser) parsePrimary() (prog.Expr, error) {
+	switch {
+	case p.tok.kind == tokNumber:
+		v := p.tok.num
+		return prog.Const{V: v}, p.advance()
+	case p.tok.kind == tokIdent:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		switch name {
+		case "inputlen":
+			return prog.InputLen{}, nil
+		case "inputrem":
+			return prog.InputRemaining{}, nil
+		case "global":
+			if p.tok.kind == tokPunct && p.tok.text == "(" {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				gname, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				return prog.Global{Name: gname}, p.expectPunct(")")
+			}
+			return prog.Var{Name: name}, nil
+		default:
+			return prog.Var{Name: name}, nil
+		}
+	case p.tok.kind == tokPunct && p.tok.text == "(":
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expectPunct(")")
+	default:
+		return nil, p.errf("expected expression, found %s", p.tok)
+	}
+}

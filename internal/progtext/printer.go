@@ -1,0 +1,203 @@
+package progtext
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"heaptherapy/internal/heapsim"
+	"heaptherapy/internal/prog"
+)
+
+// Print renders a program back to progtext. Print(Parse(src)) is
+// semantically identical to src (locked in by round-trip tests).
+func Print(p *prog.Program) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "program %s\n", p.Name)
+	names := make([]string, 0, len(p.Funcs))
+	for name := range p.Funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	// Entry first, then the rest alphabetically.
+	ordered := []string{}
+	if _, ok := p.Funcs[p.Entry]; ok {
+		ordered = append(ordered, p.Entry)
+	}
+	for _, n := range names {
+		if n != p.Entry {
+			ordered = append(ordered, n)
+		}
+	}
+	for _, name := range ordered {
+		f := p.Funcs[name]
+		sb.WriteByte('\n')
+		fmt.Fprintf(&sb, "func %s", name)
+		if len(f.Params) > 0 {
+			fmt.Fprintf(&sb, "(%s)", strings.Join(f.Params, ", "))
+		}
+		sb.WriteString(" {\n")
+		printBlock(&sb, f.Body, 1)
+		sb.WriteString("}\n")
+	}
+	return sb.String()
+}
+
+func printBlock(sb *strings.Builder, body []prog.Stmt, depth int) {
+	indent := strings.Repeat("    ", depth)
+	for _, s := range body {
+		switch st := s.(type) {
+		case prog.Assign:
+			fmt.Fprintf(sb, "%slet %s = %s\n", indent, st.Dst, expr(st.E))
+		case prog.SetGlobal:
+			fmt.Fprintf(sb, "%ssetglobal %s = %s\n", indent, st.Dst, expr(st.E))
+		case prog.Alloc:
+			switch st.Fn {
+			case heapsim.FnCalloc:
+				fmt.Fprintf(sb, "%salloc %s = calloc(%s, %s)%s\n", indent, st.Dst, expr(st.N), expr(st.Size), ctxSuffix(st.CCID))
+			case heapsim.FnMemalign, heapsim.FnAlignedAlloc:
+				fmt.Fprintf(sb, "%salloc %s = %s(%s, %s)%s\n", indent, st.Dst, st.Fn, expr(st.Align), expr(st.Size), ctxSuffix(st.CCID))
+			default:
+				fmt.Fprintf(sb, "%salloc %s = malloc(%s)%s\n", indent, st.Dst, expr(st.Size), ctxSuffix(st.CCID))
+			}
+		case prog.ReallocStmt:
+			fmt.Fprintf(sb, "%srealloc %s = realloc(%s, %s)%s\n", indent, st.Dst, expr(st.Ptr), expr(st.Size), ctxSuffix(st.CCID))
+		case prog.FreeStmt:
+			fmt.Fprintf(sb, "%sfree %s\n", indent, expr(st.Ptr))
+		case prog.Load:
+			fmt.Fprintf(sb, "%sload %s, %s, %s\n", indent, st.Dst, addr(st.Base, st.Off), expr(st.N))
+		case prog.Store:
+			n := st.N
+			if n == nil {
+				n = prog.Const{V: 8}
+			}
+			fmt.Fprintf(sb, "%sstore %s, %s, %s\n", indent, addr(st.Base, st.Off), expr(st.Src), expr(n))
+		case prog.StoreVar:
+			fmt.Fprintf(sb, "%sstorevar %s, %s\n", indent, addr(st.Base, st.Off), st.Src)
+		case prog.StoreBytes:
+			fmt.Fprintf(sb, "%sstorebytes %s, %s\n", indent, addr(st.Base, st.Off), quote(st.Data))
+		case prog.Memcpy:
+			fmt.Fprintf(sb, "%smemcpy %s, %s, %s\n", indent, expr(st.Dst), expr(st.Src), expr(st.N))
+		case prog.Memset:
+			fmt.Fprintf(sb, "%smemset %s, %s, %s\n", indent, expr(st.Dst), expr(st.B), expr(st.N))
+		case prog.ReadInput:
+			if _, rest := st.N.(prog.InputRemaining); rest {
+				fmt.Fprintf(sb, "%sinput %s, rest\n", indent, st.Dst)
+			} else {
+				fmt.Fprintf(sb, "%sinput %s, %s\n", indent, st.Dst, expr(st.N))
+			}
+		case prog.Output:
+			fmt.Fprintf(sb, "%soutput %s, %s\n", indent, addr(st.Base, st.Off), expr(st.N))
+		case prog.OutputVar:
+			fmt.Fprintf(sb, "%soutputvar %s\n", indent, st.Src)
+		case prog.Call:
+			sb.WriteString(indent + "call ")
+			if st.Dst != "" {
+				fmt.Fprintf(sb, "%s = ", st.Dst)
+			}
+			sb.WriteString(st.Callee)
+			if len(st.Args) > 0 {
+				parts := make([]string, len(st.Args))
+				for i, a := range st.Args {
+					parts[i] = expr(a)
+				}
+				fmt.Fprintf(sb, "(%s)", strings.Join(parts, ", "))
+			}
+			sb.WriteByte('\n')
+		case prog.Return:
+			if st.E == nil {
+				fmt.Fprintf(sb, "%sreturn\n", indent)
+			} else {
+				fmt.Fprintf(sb, "%sreturn %s\n", indent, expr(st.E))
+			}
+		case prog.Nop:
+			fmt.Fprintf(sb, "%snop\n", indent)
+		case prog.If:
+			fmt.Fprintf(sb, "%sif %s {\n", indent, expr(st.Cond))
+			printBlock(sb, st.Then, depth+1)
+			if len(st.Else) > 0 {
+				fmt.Fprintf(sb, "%s} else {\n", indent)
+				printBlock(sb, st.Else, depth+1)
+			}
+			fmt.Fprintf(sb, "%s}\n", indent)
+		case prog.While:
+			fmt.Fprintf(sb, "%swhile %s {\n", indent, expr(st.Cond))
+			printBlock(sb, st.Body, depth+1)
+			fmt.Fprintf(sb, "%s}\n", indent)
+		default:
+			fmt.Fprintf(sb, "%s# unprintable statement %T\n", indent, s)
+		}
+	}
+}
+
+// ctxSuffix renders an explicit allocation-context expression.
+func ctxSuffix(e prog.Expr) string {
+	if e == nil {
+		return ""
+	}
+	return " ctx " + expr(e)
+}
+
+// addr folds a Base+Off pair (the AST form) into one expression string
+// (the textual form).
+func addr(base, off prog.Expr) string {
+	if off == nil {
+		return expr(base)
+	}
+	if c, ok := off.(prog.Const); ok && c.V == 0 {
+		return expr(base)
+	}
+	return fmt.Sprintf("(%s + %s)", expr(base), expr(off))
+}
+
+var opText = map[prog.BinOp]string{
+	prog.OpAdd: "+", prog.OpSub: "-", prog.OpMul: "*", prog.OpDiv: "/",
+	prog.OpMod: "%", prog.OpAnd: "&", prog.OpOr: "|", prog.OpXor: "^",
+	prog.OpShl: "<<", prog.OpShr: ">>", prog.OpLt: "<", prog.OpLe: "<=",
+	prog.OpEq: "==", prog.OpNe: "!=", prog.OpGt: ">", prog.OpGe: ">=",
+}
+
+// expr renders an expression, fully parenthesizing nested operations
+// so precedence never needs reconstructing.
+func expr(e prog.Expr) string {
+	switch ex := e.(type) {
+	case prog.Const:
+		return fmt.Sprintf("%d", ex.V)
+	case prog.Var:
+		return ex.Name
+	case prog.InputLen:
+		return "inputlen"
+	case prog.InputRemaining:
+		return "inputrem"
+	case prog.Global:
+		return fmt.Sprintf("global(%s)", ex.Name)
+	case prog.Bin:
+		return fmt.Sprintf("(%s %s %s)", expr(ex.A), opText[ex.Op], expr(ex.B))
+	default:
+		return fmt.Sprintf("/*%T*/0", e)
+	}
+}
+
+// quote renders a byte string as a progtext string literal.
+func quote(data []byte) string {
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for _, b := range data {
+		switch {
+		case b == '"':
+			sb.WriteString(`\"`)
+		case b == '\\':
+			sb.WriteString(`\\`)
+		case b == '\n':
+			sb.WriteString(`\n`)
+		case b == '\t':
+			sb.WriteString(`\t`)
+		case b >= 0x20 && b < 0x7F:
+			sb.WriteByte(b)
+		default:
+			fmt.Fprintf(&sb, `\x%02x`, b)
+		}
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}

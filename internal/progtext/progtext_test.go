@@ -1,0 +1,296 @@
+package progtext
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"heaptherapy/internal/core"
+	"heaptherapy/internal/encoding"
+	"heaptherapy/internal/instrument"
+	"heaptherapy/internal/mem"
+	"heaptherapy/internal/prog"
+	"heaptherapy/internal/vuln"
+)
+
+const echoServer = `
+# A vulnerable echo server.
+program echo
+
+func main {
+    call handle
+}
+
+func handle {
+    alloc reply = malloc(64)
+    alloc key = malloc(64)
+    storebytes key, "session-key=hunter2"
+    memset reply, 46, 64
+    input len, 2
+    output reply, len & 0xFF | (len >> 8) << 8   # trust the wire length
+}
+`
+
+func mustParse(t *testing.T, src string) *prog.Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return p
+}
+
+func runNative(t *testing.T, p *prog.Program, input []byte) *prog.Result {
+	t.Helper()
+	space, err := mem.NewSpace(mem.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend, err := prog.NewNativeBackend(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := prog.New(p, prog.Config{Backend: backend})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := it.Run(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestParseAndRun(t *testing.T) {
+	p := mustParse(t, echoServer)
+	if p.Name != "echo" {
+		t.Errorf("name = %q", p.Name)
+	}
+	res := runNative(t, p, []byte{64, 0})
+	if len(res.Output) != 64 {
+		t.Fatalf("output = %d bytes, want 64", len(res.Output))
+	}
+	// Attack: 200-byte read leaks the key.
+	res = runNative(t, p, []byte{200, 0})
+	if !bytes.Contains(res.Output, []byte("hunter2")) {
+		t.Errorf("overread did not leak: %q", res.Output)
+	}
+}
+
+func TestParsedProgramThroughFullPipeline(t *testing.T) {
+	p := mustParse(t, echoServer)
+	sys, err := core.NewSystem(p, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	patches, _, err := sys.PatchCycle([]byte{200, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if patches.Len() == 0 {
+		t.Fatal("no patches for parsed program")
+	}
+	run, err := sys.RunDefended([]byte{200, 0}, patches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(run.Result.Output, []byte("hunter2")) {
+		t.Error("defended parsed program still leaks")
+	}
+}
+
+func TestAllStatementsParse(t *testing.T) {
+	src := `
+program kitchen_sink
+
+func main {
+    let a = 5 + 3 * 2
+    let b = (a << 4) % 100
+    alloc m = malloc(64)
+    alloc c = calloc(4, 16)
+    alloc g = memalign(64, 100)
+    alloc aa = aligned_alloc(32, 64)
+    realloc m = realloc(m, 128)
+    store m, 0x1122, 2
+    store (m + 8), a, 8
+    storevar m, b
+    storebytes (m + 16), "hi\n\t\"\\ \x41"
+    load x, m, 8
+    memcpy c, m, 16
+    memset g, 0, 100
+    input req, 4
+    input rest_of, rest
+    output m, 8
+    outputvar x
+    call helper
+    call r = helper2(a, b)
+    if a > b {
+        nop
+    } else {
+        let z = 0
+    }
+    while b != 0 {
+        let b = b >> 1
+    }
+    free m
+    free c
+    free g
+    free aa
+}
+
+func helper {
+    return
+}
+
+func helper2(p, q) {
+    return p - q
+}
+`
+	p := mustParse(t, src)
+	res := runNative(t, p, []byte("ABCDEFGH"))
+	if res.Crashed() {
+		t.Fatalf("kitchen sink crashed: %v", res.Fault)
+	}
+	if res.Allocs != 5 || res.Frees != 4 {
+		t.Errorf("allocs/frees = %d/%d, want 5/4", res.Allocs, res.Frees)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"no-func", "program x\nlet a = 1\n", "expected func"},
+		{"bad-stmt", "func main {\n   explode\n}\n", "unknown statement"},
+		{"unterminated-block", "func main {\n nop\n", "unterminated block"},
+		{"unterminated-string", "func main {\n storebytes 0, \"abc\n}\n", "string"},
+		{"bad-alloc-fn", "func main {\n alloc x = mmap(4)\n}\n", "unknown allocation function"},
+		{"malloc-arity", "func main {\n alloc x = malloc(1, 2)\n}\n", "malloc takes"},
+		{"calloc-arity", "func main {\n alloc x = calloc(1)\n}\n", "calloc takes"},
+		{"realloc-kw", "func main {\n alloc x = realloc(0, 4)\n}\n", "realloc statement"},
+		{"dup-func", "func main {\n nop\n}\nfunc main {\n nop\n}\n", "duplicate function"},
+		{"undefined-callee", "func main {\n call ghost\n}\n", "undefined function"},
+		{"two-stmts-one-line", "func main {\n nop nop\n}\n", "end of statement"},
+		{"bad-escape", `func main {` + "\n" + ` storebytes 0, "a\q"` + "\n}\n", "unknown escape"},
+		{"bad-number", "func main {\n let x = 0x\n}\n", "number"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatalf("Parse succeeded, want error containing %q", c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("error %q does not contain %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	src := `
+func main {
+    let a = 2 + 3 * 4
+    outputvar a
+    let b = 2 * 3 + 4
+    outputvar b
+    let c = 1 << 2 + 3
+    outputvar c
+    let d = 10 - 2 - 3
+    outputvar d
+    let e = 1 | 2 & 3
+    outputvar e
+}
+`
+	p := mustParse(t, src)
+	res := runNative(t, p, nil)
+	// C precedence: shifts bind LOOSER than +, so 1 << 2+3 is 1<<5.
+	vals := []uint64{14, 10, 32, 5, 1 | 2&3}
+	if len(res.Output) != 8*len(vals) {
+		t.Fatalf("output = %d bytes", len(res.Output))
+	}
+	for i, want := range vals {
+		got := (prog.Value{Bytes: res.Output[i*8 : i*8+8]}).Uint()
+		if got != want {
+			t.Errorf("value %d = %d, want %d", i, got, want)
+		}
+	}
+	// Left associativity: 10-2-3 = 5 (checked above via vals[3]).
+}
+
+// TestRoundTripCorpus prints every corpus program and re-parses it;
+// the round-tripped program must behave identically on benign and
+// attack inputs.
+func TestRoundTripCorpus(t *testing.T) {
+	for _, c := range vuln.AllCases() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			text := Print(c.Program)
+			back, err := Parse(text)
+			if err != nil {
+				t.Fatalf("re-parse failed: %v\n--- printed ---\n%s", err, text)
+			}
+			inputs := append([][]byte{c.Attack}, c.Benign...)
+			for i, in := range inputs {
+				orig := runNative(t, c.Program, in)
+				rt := runNative(t, back, in)
+				if orig.Crashed() != rt.Crashed() {
+					t.Fatalf("input %d: crash mismatch (%v vs %v)", i, orig.Fault, rt.Fault)
+				}
+				if !bytes.Equal(orig.Output, rt.Output) {
+					t.Fatalf("input %d: output mismatch:\n  orig: %q\n  rt:   %q", i, orig.Output, rt.Output)
+				}
+			}
+		})
+	}
+}
+
+// TestRoundTripStable: Print(Parse(Print(p))) == Print(p).
+func TestRoundTripStable(t *testing.T) {
+	p := vuln.Heartbleed().Program
+	once := Print(p)
+	back, err := Parse(once)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice := Print(back)
+	if once != twice {
+		t.Errorf("printing is not a fixed point:\n--- once ---\n%s\n--- twice ---\n%s", once, twice)
+	}
+}
+
+// TestInstrumentedRoundTrip: a rewritten (instrumented) program prints
+// to progtext — with setglobal, global(...), and ctx suffixes visible
+// — and parses back to a program with identical behavior.
+func TestInstrumentedRoundTrip(t *testing.T) {
+	c := vuln.Heartbleed()
+	plan, err := encoding.NewPlan(encoding.SchemeTCS, c.Program.Graph(), c.Program.Targets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coder, err := encoding.NewCoder(encoding.EncoderPCCE, c.Program.Graph(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewritten, err := instrument.Rewrite(c.Program, coder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Print(rewritten)
+	for _, want := range []string{"setglobal __cc_v", "let __cc_t = global(__cc_v)", "ctx "} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("instrumented text missing %q:\n%s", want, text)
+		}
+	}
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatalf("re-parse of instrumented text: %v\n%s", err, text)
+	}
+	for _, in := range append([][]byte{c.Attack}, c.Benign...) {
+		orig := runNative(t, rewritten, in)
+		rt := runNative(t, back, in)
+		if !bytes.Equal(orig.Output, rt.Output) {
+			t.Fatalf("instrumented round trip diverged on %x", in)
+		}
+	}
+}

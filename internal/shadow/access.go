@@ -1,0 +1,148 @@
+package shadow
+
+import (
+	"fmt"
+
+	"heaptherapy/internal/prog"
+)
+
+// Load implements prog.HeapBackend: it returns the data together with
+// its V-bit masks and origin tags, checking A-bits per byte. Access
+// violations are recorded and execution resumes with the raw bytes
+// (Valgrind's behaviour), so one run can expose multiple bugs.
+func (b *Backend) Load(addr, n, ccid uint64) (prog.Value, error) {
+	b.cycles += (prog.CycMemOp + n/prog.CycBytesPerCycle) * shadowCostFactor
+	if err := b.checkMapped(addr, n); err != nil {
+		return prog.Value{}, err
+	}
+	data, err := b.space.RawRead(addr, n)
+	if err != nil {
+		return prog.Value{}, fmt.Errorf("shadow: raw read: %w", err)
+	}
+	v := prog.Value{
+		Bytes:  data,
+		Valid:  make([]byte, n),
+		Origin: make([]uint32, n),
+	}
+	violated := false
+	for i := uint64(0); i < n; i++ {
+		o, ok := b.off(addr + i)
+		if !ok {
+			break
+		}
+		if !b.access[o] {
+			if !violated {
+				b.recordAccessViolation(addr+i, n, ccid, false)
+				violated = true
+			}
+			// Data read from inaccessible memory is also invalid.
+			v.Valid[i] = 0
+			v.Origin[i] = b.originT[o]
+			continue
+		}
+		v.Valid[i] = b.vmask[o]
+		v.Origin[i] = b.originT[o]
+	}
+	return v, nil
+}
+
+// Store implements prog.HeapBackend: it writes data and propagates the
+// value's V-bits and origins into the shadow planes. Bytes landing in
+// inaccessible memory are recorded as violations; they are materialized
+// only inside red zones or freed buffers (regions this tool owns) and
+// dropped elsewhere to keep the analysis heap intact.
+func (b *Backend) Store(addr uint64, v prog.Value, ccid uint64) error {
+	n := uint64(len(v.Bytes))
+	b.cycles += (prog.CycMemOp + n/prog.CycBytesPerCycle) * shadowCostFactor
+	if err := b.checkMapped(addr, n); err != nil {
+		return err
+	}
+	violated := false
+	for i := uint64(0); i < n; i++ {
+		o, ok := b.off(addr + i)
+		if !ok {
+			break
+		}
+		vm := byte(0xFF)
+		if v.Valid != nil && int(i) < len(v.Valid) {
+			vm = v.Valid[i]
+		}
+		var org uint32
+		if v.Origin != nil && int(i) < len(v.Origin) {
+			org = v.Origin[i]
+		}
+		if !b.access[o] {
+			if !violated {
+				b.recordAccessViolation(addr+i, n, ccid, true)
+				violated = true
+			}
+			if c := b.findContaining(addr + i); c == nil {
+				continue // would corrupt untracked memory: drop
+			}
+			// Falls in a red zone or freed buffer: safe to land.
+		}
+		if err := b.space.RawWrite(addr+i, []byte{v.Bytes[i]}); err != nil {
+			return fmt.Errorf("shadow: raw write: %w", err)
+		}
+		if b.access[o] {
+			b.vmask[o] = vm
+			b.originT[o] = org
+		}
+	}
+	return nil
+}
+
+// Memcpy implements prog.HeapBackend with byte-wise shadow propagation:
+// V-bits and origins travel with the data, which is what lets origin
+// tracking trace a leak at an output call back to the uninitialized
+// allocation it started from.
+func (b *Backend) Memcpy(dst, src, n, ccid uint64) error {
+	b.cycles += (prog.CycMemOp + n/prog.CycBytesPerCycle) * shadowCostFactor
+	v, err := b.Load(src, n, ccid)
+	if err != nil {
+		return err
+	}
+	// Load already accounted cycles; compensate to avoid double cost.
+	b.cycles -= (prog.CycMemOp + n/prog.CycBytesPerCycle) * shadowCostFactor
+	return b.Store(dst, v, ccid)
+}
+
+// Memset implements prog.HeapBackend; the filled range becomes fully
+// valid.
+func (b *Backend) Memset(addr uint64, c byte, n, ccid uint64) error {
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = c
+	}
+	return b.Store(addr, prog.Value{Bytes: data}, ccid)
+}
+
+// CheckUse implements prog.HeapBackend: V-bits are checked only here —
+// when a value decides control flow, forms an address, or reaches a
+// system call — never at loads, so padding copies (Figure 4) cannot
+// raise false positives. The first invalid byte's origin tag leads the
+// warning back to the vulnerable allocation.
+func (b *Backend) CheckUse(v prog.Value, use prog.UseKind, ccid uint64) {
+	b.cycles += shadowCostFactor
+	if v.FullyValid() {
+		return
+	}
+	tag := v.InvalidOrigin()
+	b.recordUninit(tag, use, ccid, fmt.Sprintf("uninitialized value used as %s", use))
+}
+
+// checkMapped verifies the range lies inside the simulated space;
+// running off the mapping is a hard fault even under analysis (a real
+// process would die under Valgrind too).
+func (b *Backend) checkMapped(addr, n uint64) error {
+	if n == 0 {
+		return nil
+	}
+	if !b.space.Contains(addr, n) {
+		// Out-of-space accesses crash the analysis run like a real
+		// SIGSEGV; record what we know first.
+		b.recordAccessViolation(addr, n, 0, false)
+		return b.space.CheckRead(addr, n)
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package shadow
+
+import (
+	"fmt"
+	"sort"
+
+	"heaptherapy/internal/heapsim"
+)
+
+// Leak describes a buffer still live when the analysis ended,
+// aggregated by allocation context — the classic Memcheck leak-check
+// output, keyed by the same {FUN, CCID} identity as patches so leak
+// reports can be cross-referenced with the rest of the analysis.
+type Leak struct {
+	// AllocFn and AllocCCID identify the allocation context.
+	AllocFn   heapsim.AllocFn
+	AllocCCID uint64
+	// Buffers is the number of live buffers from this context.
+	Buffers int
+	// Bytes is their total user size.
+	Bytes uint64
+}
+
+func (l Leak) String() string {
+	return fmt.Sprintf("%d byte(s) in %d buffer(s) from %s@%#x",
+		l.Bytes, l.Buffers, l.AllocFn, l.AllocCCID)
+}
+
+// Leaks reports buffers never freed during the run, grouped by
+// allocation context and sorted by descending byte count. Buffers
+// parked in the deferred-free queue were freed by the program, so they
+// do not count.
+func (b *Backend) Leaks() []Leak {
+	type key struct {
+		fn   heapsim.AllocFn
+		ccid uint64
+	}
+	agg := make(map[key]*Leak)
+	for _, c := range b.chunks {
+		if c.freed || c.released {
+			continue
+		}
+		k := key{fn: c.fn, ccid: c.ccid}
+		l, ok := agg[k]
+		if !ok {
+			l = &Leak{AllocFn: c.fn, AllocCCID: c.ccid}
+			agg[k] = l
+		}
+		l.Buffers++
+		l.Bytes += c.size
+	}
+	out := make([]Leak, 0, len(agg))
+	for _, l := range agg {
+		out = append(out, *l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		return out[i].AllocCCID < out[j].AllocCCID
+	})
+	return out
+}

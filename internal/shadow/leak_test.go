@@ -1,0 +1,52 @@
+package shadow
+
+import (
+	"testing"
+
+	"heaptherapy/internal/heapsim"
+)
+
+func TestLeaksGroupedByContext(t *testing.T) {
+	b := newBackend(t, Config{})
+	// Two leaks from context 0xA, one from 0xB, one freed (no leak).
+	p1 := mustAlloc(t, b, heapsim.FnMalloc, 0xA, 1, 100, 0)
+	_ = p1
+	mustAlloc(t, b, heapsim.FnMalloc, 0xA, 1, 50, 0)
+	mustAlloc(t, b, heapsim.FnCalloc, 0xB, 2, 10, 0)
+	freed := mustAlloc(t, b, heapsim.FnMalloc, 0xC, 1, 64, 0)
+	if err := b.Free(freed, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	leaks := b.Leaks()
+	if len(leaks) != 2 {
+		t.Fatalf("leaks = %v, want 2 contexts", leaks)
+	}
+	// Sorted by bytes descending: context 0xA (150 B) first.
+	if leaks[0].AllocCCID != 0xA || leaks[0].Buffers != 2 || leaks[0].Bytes != 150 {
+		t.Errorf("leaks[0] = %+v, want 2 buffers / 150 B from 0xA", leaks[0])
+	}
+	if leaks[1].AllocCCID != 0xB || leaks[1].Bytes != 20 {
+		t.Errorf("leaks[1] = %+v, want 20 B from 0xB", leaks[1])
+	}
+}
+
+func TestDeferredFreeIsNotALeak(t *testing.T) {
+	b := newBackend(t, Config{})
+	p := mustAlloc(t, b, heapsim.FnMalloc, 0xA, 1, 64, 0)
+	if err := b.Free(p, 1); err != nil {
+		t.Fatal(err)
+	}
+	// The block sits in the deferred queue; the program DID free it.
+	if leaks := b.Leaks(); len(leaks) != 0 {
+		t.Errorf("deferred block reported as leak: %v", leaks)
+	}
+}
+
+func TestLeakString(t *testing.T) {
+	l := Leak{AllocFn: heapsim.FnMalloc, AllocCCID: 0x99, Buffers: 3, Bytes: 300}
+	want := "300 byte(s) in 3 buffer(s) from malloc@0x99"
+	if got := l.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}

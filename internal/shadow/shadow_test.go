@@ -1,0 +1,422 @@
+package shadow
+
+import (
+	"strings"
+	"testing"
+
+	"heaptherapy/internal/heapsim"
+	"heaptherapy/internal/mem"
+	"heaptherapy/internal/patch"
+	"heaptherapy/internal/prog"
+)
+
+func newBackend(t *testing.T, cfg Config) *Backend {
+	t.Helper()
+	space, err := mem.NewSpace(mem.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(space, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func mustAlloc(t *testing.T, b *Backend, fn heapsim.AllocFn, ccid, n, size, align uint64) uint64 {
+	t.Helper()
+	p, err := b.Alloc(fn, ccid, n, size, align)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	return p
+}
+
+func warningsOfType(b *Backend, typ patch.TypeMask) []Warning {
+	var out []Warning
+	for _, w := range b.Warnings() {
+		if w.Type == typ {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func TestOverflowWriteDetected(t *testing.T) {
+	b := newBackend(t, Config{})
+	p := mustAlloc(t, b, heapsim.FnMalloc, 0xAAA, 1, 16, 0)
+
+	// In-bounds write: no warning.
+	if err := b.Store(p, prog.Value{Bytes: make([]byte, 16)}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Warnings()) != 0 {
+		t.Fatalf("in-bounds write warned: %v", b.Warnings())
+	}
+
+	// One byte past the end: overflow into the red zone.
+	if err := b.Store(p+16, prog.Value{Bytes: []byte{0x41}}, 2); err != nil {
+		t.Fatal(err)
+	}
+	ws := warningsOfType(b, patch.TypeOverflow)
+	if len(ws) != 1 {
+		t.Fatalf("overflow warnings = %d, want 1 (%v)", len(ws), b.Warnings())
+	}
+	w := ws[0]
+	if w.AllocCCID != 0xAAA || w.AllocFn != heapsim.FnMalloc {
+		t.Errorf("warning blames %s@%#x, want malloc@0xaaa", w.AllocFn, w.AllocCCID)
+	}
+	if !w.Write {
+		t.Error("overwrite not marked as write")
+	}
+	if got := w.Patch(); got.Types != patch.TypeOverflow || got.CCID != 0xAAA {
+		t.Errorf("Patch() = %v", got)
+	}
+}
+
+func TestOverreadDetected(t *testing.T) {
+	b := newBackend(t, Config{})
+	p := mustAlloc(t, b, heapsim.FnMalloc, 0xBBB, 1, 32, 0)
+	// Read 48 bytes from a 32-byte buffer: Heartbleed's pattern.
+	if _, err := b.Load(p, 48, 7); err != nil {
+		t.Fatal(err)
+	}
+	ws := warningsOfType(b, patch.TypeOverflow)
+	if len(ws) != 1 {
+		t.Fatalf("overread warnings = %d, want 1", len(ws))
+	}
+	if ws[0].Write {
+		t.Error("overread marked as write")
+	}
+	if ws[0].AccessCCID != 7 {
+		t.Errorf("access CCID = %#x, want 7", ws[0].AccessCCID)
+	}
+}
+
+func TestUseAfterFreeDetected(t *testing.T) {
+	b := newBackend(t, Config{})
+	p := mustAlloc(t, b, heapsim.FnMalloc, 0xCCC, 1, 64, 0)
+	if err := b.Free(p, 0x111); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Load(p, 8, 0x222); err != nil {
+		t.Fatal(err)
+	}
+	ws := warningsOfType(b, patch.TypeUseAfterFree)
+	if len(ws) != 1 {
+		t.Fatalf("UAF warnings = %d, want 1 (%v)", len(ws), b.Warnings())
+	}
+	if ws[0].AllocCCID != 0xCCC {
+		t.Errorf("UAF blames CCID %#x, want allocation CCID 0xccc", ws[0].AllocCCID)
+	}
+	if !strings.Contains(ws[0].Detail, "0x111") {
+		t.Errorf("detail %q missing free-time CCID", ws[0].Detail)
+	}
+}
+
+func TestFreedBlockNotReused(t *testing.T) {
+	b := newBackend(t, Config{})
+	p := mustAlloc(t, b, heapsim.FnMalloc, 1, 1, 128, 0)
+	if err := b.Free(p, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Same-size allocation must NOT get the freed block back while it
+	// sits in the deferred queue.
+	q := mustAlloc(t, b, heapsim.FnMalloc, 3, 1, 128, 0)
+	if q == p {
+		t.Error("freed block reused despite FIFO deferral")
+	}
+}
+
+func TestQueueQuotaEviction(t *testing.T) {
+	b := newBackend(t, Config{QueueQuota: 256})
+	var ptrs []uint64
+	for i := 0; i < 8; i++ {
+		ptrs = append(ptrs, mustAlloc(t, b, heapsim.FnMalloc, uint64(i), 1, 100, 0))
+	}
+	for _, p := range ptrs {
+		if err := b.Free(p, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 8 x 100 bytes through a 256-byte queue: most must be evicted.
+	if b.queueBytes > 256 {
+		t.Errorf("queueBytes = %d > quota 256", b.queueBytes)
+	}
+	if len(b.queue) > 2 {
+		t.Errorf("queue holds %d blocks, want <= 2", len(b.queue))
+	}
+}
+
+func TestDoubleFreeWarnsAndContinues(t *testing.T) {
+	b := newBackend(t, Config{})
+	p := mustAlloc(t, b, heapsim.FnMalloc, 5, 1, 32, 0)
+	if err := b.Free(p, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Free(p, 2); err != nil {
+		t.Fatalf("double free returned hard error %v; analysis should continue", err)
+	}
+	if len(warningsOfType(b, patch.TypeUseAfterFree)) == 0 {
+		t.Error("double free produced no warning")
+	}
+}
+
+func TestUninitReadAtOutput(t *testing.T) {
+	b := newBackend(t, Config{})
+	p := mustAlloc(t, b, heapsim.FnMalloc, 0xDDD, 1, 64, 0)
+	v, err := b.Load(p, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.FullyValid() {
+		t.Fatal("fresh malloc memory is valid; want invalid")
+	}
+	// The load alone must not warn (checked only at use points).
+	if len(b.Warnings()) != 0 {
+		t.Fatalf("load of uninit memory warned: %v", b.Warnings())
+	}
+	b.CheckUse(v, prog.UseOutput, 9)
+	ws := warningsOfType(b, patch.TypeUninitRead)
+	if len(ws) != 1 {
+		t.Fatalf("UR warnings = %d, want 1", len(ws))
+	}
+	if ws[0].AllocCCID != 0xDDD || ws[0].AllocFn != heapsim.FnMalloc {
+		t.Errorf("UR blames %s@%#x, want malloc@0xddd", ws[0].AllocFn, ws[0].AllocCCID)
+	}
+	if ws[0].Use != prog.UseOutput {
+		t.Errorf("use kind = %v, want output", ws[0].Use)
+	}
+}
+
+func TestCallocIsInitialized(t *testing.T) {
+	b := newBackend(t, Config{})
+	p := mustAlloc(t, b, heapsim.FnCalloc, 1, 4, 16, 0)
+	v, err := b.Load(p, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.FullyValid() {
+		t.Error("calloc memory reported uninitialized")
+	}
+	b.CheckUse(v, prog.UseOutput, 1)
+	if len(b.Warnings()) != 0 {
+		t.Errorf("calloc use warned: %v", b.Warnings())
+	}
+}
+
+func TestInitializedBytesAreValid(t *testing.T) {
+	b := newBackend(t, Config{})
+	p := mustAlloc(t, b, heapsim.FnMalloc, 1, 1, 32, 0)
+	if err := b.Store(p, prog.Value{Bytes: []byte("abcdefgh")}, 1); err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.Load(p, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.FullyValid() {
+		t.Error("stored bytes read back invalid")
+	}
+	// The suffix is still uninitialized.
+	v2, err := b.Load(p+8, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.FullyValid() {
+		t.Error("unwritten suffix reads valid")
+	}
+}
+
+// TestPaddingCopyNoFalsePositive reproduces Figure 4: copying a
+// partially-initialized struct (including padding) must not warn as
+// long as the padding is never used at a use point.
+func TestPaddingCopyNoFalsePositive(t *testing.T) {
+	b := newBackend(t, Config{})
+	p := mustAlloc(t, b, heapsim.FnMalloc, 1, 1, 8, 0)
+	// Initialize 5 of 8 bytes (uint32 i + uint8 c; 3 bytes padding).
+	if err := b.Store(p, prog.Value{Bytes: []byte{1, 2, 3, 4, 5}}, 1); err != nil {
+		t.Fatal(err)
+	}
+	q := mustAlloc(t, b, heapsim.FnMalloc, 2, 1, 8, 0)
+	// y = *p: the compiler copies all 8 bytes.
+	if err := b.Memcpy(q, p, 8, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Warnings()) != 0 {
+		t.Fatalf("padding copy warned: %v", b.Warnings())
+	}
+	// Using the initialized field is fine too.
+	v, _ := b.Load(q, 4, 1)
+	b.CheckUse(v, prog.UseControlFlow, 1)
+	if len(b.Warnings()) != 0 {
+		t.Fatalf("use of initialized field warned: %v", b.Warnings())
+	}
+	// Only using the padding itself warns.
+	pad, _ := b.Load(q+5, 3, 1)
+	b.CheckUse(pad, prog.UseControlFlow, 1)
+	if len(warningsOfType(b, patch.TypeUninitRead)) != 1 {
+		t.Error("use of padding did not warn")
+	}
+}
+
+// TestOriginTracksThroughCopy: a leak via an intermediate buffer must
+// be traced back to the original allocation (origin tracking).
+func TestOriginTracksThroughCopy(t *testing.T) {
+	b := newBackend(t, Config{})
+	src := mustAlloc(t, b, heapsim.FnMalloc, 0x123, 1, 32, 0)
+	dst := mustAlloc(t, b, heapsim.FnCalloc, 0x456, 4, 8, 0)
+	if err := b.Memcpy(dst, src, 32, 1); err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.Load(dst, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.CheckUse(v, prog.UseOutput, 1)
+	ws := warningsOfType(b, patch.TypeUninitRead)
+	if len(ws) != 1 {
+		t.Fatalf("UR warnings = %d, want 1", len(ws))
+	}
+	if ws[0].AllocCCID != 0x123 {
+		t.Errorf("origin CCID = %#x, want 0x123 (the source allocation)", ws[0].AllocCCID)
+	}
+}
+
+func TestChainedWarningsSuppressed(t *testing.T) {
+	b := newBackend(t, Config{})
+	p := mustAlloc(t, b, heapsim.FnMalloc, 1, 1, 16, 0)
+	v, _ := b.Load(p, 8, 1)
+	for i := 0; i < 10; i++ {
+		b.CheckUse(v, prog.UseOutput, 1)
+	}
+	if got := len(warningsOfType(b, patch.TypeUninitRead)); got != 1 {
+		t.Errorf("repeated use warned %d times, want 1", got)
+	}
+	// A different use kind is a distinct finding.
+	b.CheckUse(v, prog.UseControlFlow, 1)
+	if got := len(warningsOfType(b, patch.TypeUninitRead)); got != 2 {
+		t.Errorf("distinct use kind suppressed (got %d warnings)", got)
+	}
+}
+
+func TestMemalignRedZonesAndAlignment(t *testing.T) {
+	b := newBackend(t, Config{})
+	p := mustAlloc(t, b, heapsim.FnMemalign, 1, 1, 100, 64)
+	if p%64 != 0 {
+		t.Fatalf("memalign payload %#x not 64-aligned", p)
+	}
+	// Both sides must be red.
+	if _, err := b.Load(p-1, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Store(p+100, prog.Value{Bytes: []byte{1}}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(warningsOfType(b, patch.TypeOverflow)); got != 2 {
+		t.Errorf("red-zone probes warned %d, want 2 (%v)", got, b.Warnings())
+	}
+}
+
+func TestReallocShrinkGrow(t *testing.T) {
+	b := newBackend(t, Config{})
+	p := mustAlloc(t, b, heapsim.FnMalloc, 0x1, 1, 64, 0)
+	if err := b.Store(p, prog.Value{Bytes: []byte("persisted!")}, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Grow: data survives, new region is invalid, CCID updates.
+	q, err := b.Realloc(0x2, p, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.Load(q, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v.Bytes) != "persisted!" {
+		t.Errorf("data after grow = %q", v.Bytes)
+	}
+	if !v.FullyValid() {
+		t.Error("initialized prefix lost validity across realloc")
+	}
+	tail, err := b.Load(q+64, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tail.FullyValid() {
+		t.Error("grown region reads valid; want invalid")
+	}
+	b.CheckUse(tail, prog.UseOutput, 1)
+	ws := warningsOfType(b, patch.TypeUninitRead)
+	if len(ws) != 1 || ws[0].AllocCCID != 0x2 || ws[0].AllocFn != heapsim.FnRealloc {
+		t.Errorf("realloc UR warning = %v, want realloc@0x2", ws)
+	}
+
+	// Shrink: the cut-off region becomes inaccessible.
+	r, err := b.Realloc(0x3, q, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Load(r+20, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(warningsOfType(b, patch.TypeOverflow)); got != 1 {
+		t.Errorf("access past shrunk buffer warned %d, want 1", got)
+	}
+}
+
+func TestReallocNilIsAlloc(t *testing.T) {
+	b := newBackend(t, Config{})
+	p, err := b.Realloc(0x9, 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == 0 {
+		t.Fatal("realloc(nil) returned nil")
+	}
+	v, _ := b.Load(p, 8, 1)
+	if v.FullyValid() {
+		t.Error("realloc(nil) memory valid; want uninitialized")
+	}
+}
+
+func TestWarningString(t *testing.T) {
+	w := Warning{
+		Type: patch.TypeOverflow, Addr: 0x2000, Size: 4,
+		AllocFn: heapsim.FnMalloc, AllocCCID: 0x77, Detail: "test",
+	}
+	s := w.String()
+	for _, want := range []string{"OVERFLOW", "0x2000", "malloc", "0x77"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("warning string %q missing %q", s, want)
+		}
+	}
+}
+
+func TestWildAccessRecorded(t *testing.T) {
+	b := newBackend(t, Config{})
+	// An address inside the space but in no tracked chunk (allocator
+	// metadata region) — writes there are dropped.
+	space := b.space
+	addr := space.Base() + space.Size() - 8
+	_ = addr
+	// Use an address beyond every chunk but inside the arena page.
+	p := mustAlloc(t, b, heapsim.FnMalloc, 1, 1, 16, 0)
+	far := p + 4096
+	if space.Contains(far, 1) {
+		if err := b.Store(far, prog.Value{Bytes: []byte{1}}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFreeNilNoop(t *testing.T) {
+	b := newBackend(t, Config{})
+	if err := b.Free(0, 1); err != nil {
+		t.Errorf("free(nil) = %v", err)
+	}
+	if len(b.Warnings()) != 0 {
+		t.Error("free(nil) warned")
+	}
+}

@@ -1,0 +1,126 @@
+package shadow
+
+import (
+	"fmt"
+
+	"heaptherapy/internal/heapsim"
+	"heaptherapy/internal/patch"
+	"heaptherapy/internal/prog"
+)
+
+// Warning is one detected memory-safety violation. Warnings carry the
+// allocation identity of the affected buffer — the {FUN, CCID} pair —
+// which is exactly what the patch generator turns into patches.
+type Warning struct {
+	// Type is the vulnerability bit (exactly one of the three).
+	Type patch.TypeMask
+	// Addr is the faulting or leaking address (0 for pure value uses).
+	Addr uint64
+	// Size is the access size in bytes.
+	Size uint64
+	// Write distinguishes overwrite from overread for overflows.
+	Write bool
+	// Use is the use point kind for uninitialized reads.
+	Use prog.UseKind
+	// AccessCCID is the calling context of the faulting access.
+	AccessCCID uint64
+	// AllocFn and AllocCCID identify the vulnerable buffer's
+	// allocation: the patch key.
+	AllocFn   heapsim.AllocFn
+	AllocCCID uint64
+	// Detail is a human-readable description.
+	Detail string
+}
+
+func (w Warning) String() string {
+	return fmt.Sprintf("%s at %#x (size %d): buffer from %s@%#x: %s",
+		w.Type, w.Addr, w.Size, w.AllocFn, w.AllocCCID, w.Detail)
+}
+
+// Patch converts the warning into its heap patch.
+func (w Warning) Patch() patch.Patch {
+	return patch.Patch{Fn: w.AllocFn, CCID: w.AllocCCID, Types: w.Type}
+}
+
+// record appends a warning unless an equivalent one (same buffer, same
+// type, same use kind) was already recorded — the chained-warning
+// suppression of Section V.
+func (b *Backend) record(w Warning, key warnKey) {
+	if b.warnSeen[key] {
+		return
+	}
+	b.warnSeen[key] = true
+	b.warnings = append(b.warnings, w)
+}
+
+// recordAccessViolation classifies an inaccessible-byte access and
+// records the matching warning.
+func (b *Backend) recordAccessViolation(addr, size, ccid uint64, write bool) {
+	c := b.findContaining(addr)
+	if c == nil {
+		b.record(Warning{
+			Type: patch.TypeOverflow, Addr: addr, Size: size, Write: write,
+			AccessCCID: ccid, Detail: "wild access outside any tracked buffer",
+		}, warnKey{chunkID: addr, typ: patch.TypeOverflow})
+		return
+	}
+	if c.freed {
+		verb := "read"
+		if write {
+			verb = "write"
+		}
+		b.record(Warning{
+			Type: patch.TypeUseAfterFree, Addr: addr, Size: size, Write: write,
+			AccessCCID: ccid, AllocFn: c.fn, AllocCCID: c.ccid,
+			Detail: fmt.Sprintf("%s of freed buffer (freed at CCID %#x)", verb, c.freeCCID),
+		}, warnKey{chunkID: c.user, typ: patch.TypeUseAfterFree})
+		return
+	}
+	verb := "overread"
+	if write {
+		verb = "overwrite"
+	}
+	side := "after"
+	if addr < c.user {
+		side = "before"
+	}
+	b.record(Warning{
+		Type: patch.TypeOverflow, Addr: addr, Size: size, Write: write,
+		AccessCCID: ccid, AllocFn: c.fn, AllocCCID: c.ccid,
+		Detail: fmt.Sprintf("%s into red zone %s buffer [%#x,%#x)", verb, side, c.user, c.end()),
+	}, warnKey{chunkID: c.user, typ: patch.TypeOverflow, write: write})
+}
+
+// recordUninit records an uninitialized-value use, resolving the origin
+// tag back to the allocation.
+func (b *Backend) recordUninit(tag uint32, use prog.UseKind, ccid uint64, detail string) {
+	org, ok := b.originInfo(tag)
+	w := Warning{
+		Type: patch.TypeUninitRead, Use: use, AccessCCID: ccid, Detail: detail,
+	}
+	key := warnKey{originID: tag, typ: patch.TypeUninitRead, use: use}
+	if ok {
+		w.AllocFn = org.fn
+		w.AllocCCID = org.ccid
+	} else {
+		w.Detail = detail + " (origin unknown)"
+	}
+	b.record(w, key)
+}
+
+// recordInvalidFree notes free()/realloc() API misuse. These are not
+// one of the paper's three patchable types, but the analyzer reports
+// them for completeness; they surface as UAF when the pointer refers
+// to a freed chunk.
+func (b *Backend) recordInvalidFree(ptr, ccid uint64, detail string, c *chunk) {
+	w := Warning{
+		Type: patch.TypeUseAfterFree, Addr: ptr, AccessCCID: ccid, Detail: detail,
+	}
+	key := warnKey{chunkID: ptr, typ: patch.TypeUseAfterFree, use: prog.UseKind(0xFF)}
+	if c != nil {
+		w.AllocFn = c.fn
+		w.AllocCCID = c.ccid
+		key.chunkID = c.user
+	}
+	b.record(w, key)
+}

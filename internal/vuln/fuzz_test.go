@@ -1,0 +1,72 @@
+package vuln
+
+import (
+	"math/rand"
+	"testing"
+
+	"heaptherapy/internal/core"
+)
+
+// TestRandomInputsNeverBreakTheRuntime throws random inputs at every
+// corpus program, natively and defended: the interpreter and defense
+// layers must never report an internal error. Program crashes
+// (Result.Fault) are fine — that is a program outcome, not a runtime
+// bug — but errors are not.
+func TestRandomInputsNeverBreakTheRuntime(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xF0CC))
+	for _, c := range AllCases() {
+		sys, err := core.NewSystem(c.Program, core.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		// Patches generated from the case's own attack are the most
+		// interesting defended configuration for fuzzing.
+		rep, err := sys.GeneratePatches(c.Attack)
+		if err != nil {
+			t.Fatalf("%s: analyze: %v", c.Name, err)
+		}
+		for trial := 0; trial < 12; trial++ {
+			n := rng.Intn(64)
+			input := make([]byte, n)
+			if _, err := rng.Read(input); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sys.RunNative(input); err != nil {
+				t.Errorf("%s: native run on %x: internal error %v", c.Name, input, err)
+			}
+			if _, err := sys.RunDefended(input, rep.Patches); err != nil {
+				t.Errorf("%s: defended run on %x: internal error %v", c.Name, input, err)
+			}
+		}
+	}
+}
+
+// TestRandomInputsUnderAnalysis fuzzes the shadow analyzer the same
+// way: random inputs may raise warnings or crash the replay, but the
+// analyzer itself must not error, and no warning may lack a type.
+func TestRandomInputsUnderAnalysis(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xA11A))
+	for _, c := range Named() {
+		sys, err := core.NewSystem(c.Program, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 6; trial++ {
+			n := rng.Intn(48)
+			input := make([]byte, n)
+			if _, err := rng.Read(input); err != nil {
+				t.Fatal(err)
+			}
+			rep, err := sys.GeneratePatches(input)
+			if err != nil {
+				t.Errorf("%s: analyzer internal error on %x: %v", c.Name, input, err)
+				continue
+			}
+			for _, w := range rep.Warnings {
+				if w.Type == 0 {
+					t.Errorf("%s: typeless warning: %v", c.Name, w)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package vuln
+
+import (
+	"bytes"
+	"testing"
+
+	"heaptherapy/internal/core"
+	"heaptherapy/internal/patch"
+	"heaptherapy/internal/prog"
+)
+
+// This file encodes Section IX's stated limitations as executable
+// facts: each test constructs an attack the paper says HeapTherapy+
+// cannot handle and verifies the reproduction behaves the same way.
+// If an implementation change ever starts "fixing" one of these, the
+// test fails — the reproduction would have silently diverged from the
+// system being reproduced.
+
+// TestLimitationDiscreteWriteOverflow: "it can only handle the
+// overflow caused by continuous writes or reads ... overflows due to
+// discrete writes cannot be handled." A single store far past the
+// buffer skips both the red zone (offline) and the guard page
+// (online).
+func TestLimitationDiscreteWriteOverflow(t *testing.T) {
+	p := prog.MustLink(&prog.Program{
+		Name: "discrete-write",
+		Funcs: map[string]*prog.Func{
+			"main": {Body: []prog.Stmt{
+				prog.Alloc{Dst: "buf", Size: prog.C(64)},
+				prog.Alloc{Dst: "big", Size: prog.C(64 * 1024)}, // distant victim
+				prog.Alloc{Dst: "flag", Size: prog.C(16)},
+				prog.Store{Base: prog.V("flag"), Src: prog.C(0)},
+				prog.ReadInput{Dst: "off", N: prog.C(4)},
+				// The bug: an attacker-controlled index used directly —
+				// one discrete write at buf[off], no contiguous sweep.
+				prog.Store{
+					Base: prog.V("buf"),
+					Off:  prog.Bin{Op: prog.OpAnd, A: prog.V("off"), B: prog.C(0xFFFFF)},
+					Src:  prog.C(0x41), N: prog.C(8),
+				},
+				prog.Load{Dst: "f", Base: prog.V("flag"), N: prog.C(8)},
+				prog.OutputVar{Src: "f"},
+			}},
+		},
+	})
+	sys, err := core.NewSystem(p, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Compute the exact offset of flag from buf natively: buf's chunk
+	// is 80 bytes (64+8 rounded), big's is 64K+..., flag payload after.
+	// Rather than hardcoding, probe: find an offset that corrupts flag.
+	var attack []byte
+	for off := uint64(64*1024 + 64); off < 64*1024+512; off += 8 {
+		in := []byte{byte(off), byte(off >> 8), byte(off >> 16), 0}
+		res, err := sys.RunNative(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Crashed() && len(res.Output) == 8 && res.Output[0] != 0 {
+			attack = in
+			break
+		}
+	}
+	if attack == nil {
+		t.Skip("could not find a corrupting discrete offset under this layout")
+	}
+
+	// Offline analysis: the discrete write lands outside buf's red zone
+	// in untracked-or-other territory; no patch can attribute it to buf.
+	rep, err := sys.GeneratePatches(attack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pp := range rep.Patches.Patches() {
+		t.Logf("analysis produced %v (attribution may hit the victim chunk, never buf's guard)", pp)
+	}
+
+	// Even patching EVERY context with overflow does not stop the
+	// discrete write: it jumps clean over any guard page.
+	patches, _, err := sys.HandleAttacks([][]byte{attack})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sys.RunDefended(attack, patches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Result.Crashed() {
+		t.Skip("layout shifted the discrete write onto a fault; limitation not exercised")
+	}
+	// The limitation: no deterministic protection for discrete writes.
+	// (The write may or may not corrupt the same victim under the
+	// defended layout; the point is that nothing stopped it.)
+	t.Logf("defended discrete write completed uninterrupted (output %x), as Section IX concedes", run.Result.Output)
+}
+
+// TestLimitationStructInternalArray: "if an overflow runs over an
+// array which is an internal field of a structure, HeapTherapy+
+// cannot detect it" — the write stays inside one allocation, where no
+// red zone or guard page exists.
+func TestLimitationStructInternalArray(t *testing.T) {
+	// struct conn { char name[16]; u64 is_admin; } — one allocation.
+	p := prog.MustLink(&prog.Program{
+		Name: "intra-struct",
+		Funcs: map[string]*prog.Func{
+			"main": {Body: []prog.Stmt{
+				prog.Alloc{Dst: "conn", Size: prog.C(24)},
+				prog.Store{Base: prog.V("conn"), Off: prog.C(16), Src: prog.C(0)}, // is_admin = 0
+				prog.ReadInput{Dst: "name", N: prog.InputRemaining{}},
+				// The bug: strcpy(conn->name, input) with no bound.
+				prog.StoreVar{Base: prog.V("conn"), Src: "name"},
+				prog.Load{Dst: "admin", Base: prog.V("conn"), Off: prog.C(16), N: prog.C(8)},
+				prog.OutputVar{Src: "admin"},
+			}},
+		},
+	})
+	sys, err := core.NewSystem(p, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attack := bytes.Repeat([]byte{0xFF}, 24) // overruns name into is_admin
+
+	// Natively the attack works.
+	res, err := sys.RunNative(attack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (prog.Value{Bytes: res.Output}).Uint() == 0 {
+		t.Fatal("intra-struct overflow did not corrupt the flag natively")
+	}
+
+	// Offline analysis sees nothing: the write is fully in-bounds at
+	// allocation granularity. This is the shared limitation of
+	// allocation-granularity tools (AddressSanitizer included).
+	rep, err := sys.GeneratePatches(attack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Patches.Len() != 0 {
+		t.Errorf("analysis generated patches for an intra-allocation overflow: %v", rep.Patches.Patches())
+	}
+
+	// And the defense cannot stop it either, even with a guard on the
+	// allocation.
+	run, err := sys.RunDefended(attack, allOverflowPatches(t, sys, attack))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Result.Crashed() {
+		t.Error("defense faulted an in-bounds write")
+	}
+	if (prog.Value{Bytes: run.Result.Output}).Uint() == 0 {
+		t.Error("intra-struct overflow unexpectedly stopped; limitation no longer reproduced")
+	}
+}
+
+// allOverflowPatches returns whatever patches analysis yields for the
+// input (possibly none) — the strongest deployment analysis offers.
+func allOverflowPatches(t *testing.T, sys *core.System, input []byte) *patch.Set {
+	t.Helper()
+	rep, err := sys.GeneratePatches(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep.Patches
+}
+
+// TestLimitationCustomPoolAllocator: "a common challenge for heap
+// security tools that work via interception of allocation calls is to
+// make them work with custom allocators." A program that carves
+// sub-buffers out of one big malloc'd pool hides its object boundaries
+// from the interposition layer entirely.
+func TestLimitationCustomPoolAllocator(t *testing.T) {
+	p := prog.MustLink(&prog.Program{
+		Name: "custom-pool",
+		Funcs: map[string]*prog.Func{
+			"main": {Body: []prog.Stmt{
+				// One visible allocation: the pool.
+				prog.Alloc{Dst: "pool", Size: prog.C(4096)},
+				// pool_alloc(64) twice: adjacent sub-buffers.
+				prog.Assign{Dst: "obj", E: prog.V("pool")},
+				prog.Assign{Dst: "secretbuf", E: prog.Add(prog.V("pool"), prog.C(64))},
+				prog.StoreBytes{Base: prog.V("secretbuf"), Data: []byte(Secret)},
+				prog.ReadInput{Dst: "n", N: prog.C(2)},
+				// Overflow of obj inside the pool.
+				prog.Output{Base: prog.V("obj"), N: prog.Bin{Op: prog.OpAnd, A: prog.V("n"), B: prog.C(0xFFF)}},
+			}},
+		},
+	})
+	sys, err := core.NewSystem(p, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attack := []byte{200, 0} // read 200 bytes from a 64-byte sub-buffer
+
+	res, err := sys.RunNative(attack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ContainsSecret(res.Output) {
+		t.Fatal("pool overread did not leak natively")
+	}
+
+	// The overread never crosses the POOL's boundary, so neither the
+	// analyzer's red zones nor a guard page can see the sub-buffer
+	// violation: no OVERFLOW patch is possible. (The analyzer may still
+	// flag the pool's uninitialized bytes reaching the output — that is
+	// a genuine, separate finding — but zero-filling cannot remove a
+	// secret the program itself wrote into the pool.)
+	rep, err := sys.GeneratePatches(attack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pp := range rep.Patches.Patches() {
+		if pp.Types.Has(patch.TypeOverflow) {
+			t.Errorf("analysis attributed an intra-pool OVERFLOW: %v", pp)
+		}
+	}
+	run, err := sys.RunDefended(attack, rep.Patches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ContainsSecret(run.Result.Output) {
+		t.Error("intra-pool overread unexpectedly stopped; limitation no longer reproduced")
+	}
+}

@@ -1,0 +1,394 @@
+package vuln
+
+import (
+	"encoding/binary"
+
+	"heaptherapy/internal/heapsim"
+	"heaptherapy/internal/patch"
+	"heaptherapy/internal/prog"
+)
+
+// recordSize is the heartbeat record buffer size; the real bug has a
+// 34 KB buffer and up to 64 KB reads, scaled here to 2 KB / 4 KB.
+const recordSize = 2048
+
+// Heartbleed models CVE-2014-0160. A previous "connection" leaves a
+// private key in a freed heap block; the heartbeat handler trusts the
+// attacker-supplied payload length, so the response memcpy overreads
+// the (recycled, partly uninitialized) record buffer and leaks memory.
+// Depending on the claimed length the attack is pure uninitialized
+// read (len <= record size) or a mix with overread — exactly the two
+// regimes Section VIII-A describes.
+func Heartbleed() *Case {
+	p := prog.MustLink(&prog.Program{
+		Name: "heartbleed",
+		Funcs: map[string]*prog.Func{
+			"main": {Body: []prog.Stmt{
+				// A previous session stores a private key, then frees
+				// the buffer: the allocator recycles it for the record.
+				prog.Call{Callee: "previous_session"},
+				prog.Call{Callee: "handle_heartbeat"},
+			}},
+			"previous_session": {Body: []prog.Stmt{
+				prog.Alloc{Dst: "key", Size: prog.C(recordSize)},
+				prog.StoreBytes{Base: prog.V("key"), Off: prog.C(100), Data: []byte(Secret)},
+				prog.FreeStmt{Ptr: prog.V("key")},
+			}},
+			"handle_heartbeat": {Body: []prog.Stmt{
+				prog.ReadInput{Dst: "rtype", N: prog.C(1)},
+				prog.ReadInput{Dst: "plen", N: prog.C(2)},
+				prog.ReadInput{Dst: "payload", N: prog.InputRemaining{}},
+				// The record buffer: the vulnerable allocation.
+				prog.Alloc{Dst: "pl", Size: prog.C(recordSize)},
+				prog.StoreVar{Base: prog.V("pl"), Src: "payload"},
+				// Response: 1 type byte + 2 length bytes + payload_len
+				// bytes copied back — trusting plen (the bug).
+				prog.Alloc{Dst: "bp", Size: prog.Add(prog.C(3), prog.V("plen"))},
+				prog.Store{Base: prog.V("bp"), Src: prog.V("rtype"), N: prog.C(1)},
+				prog.Store{Base: prog.V("bp"), Off: prog.C(1), Src: prog.V("plen"), N: prog.C(2)},
+				prog.Memcpy{
+					Dst: prog.Add(prog.V("bp"), prog.C(3)),
+					Src: prog.V("pl"),
+					N:   prog.V("plen"),
+				},
+				prog.Output{Base: prog.V("bp"), N: prog.Add(prog.C(3), prog.V("plen"))},
+			}},
+		},
+	})
+	return &Case{
+		Name:    "heartbleed",
+		Ref:     "CVE-2014-0160",
+		Types:   patch.TypeUninitRead | patch.TypeOverflow,
+		Program: p,
+		Benign:  [][]byte{heartbeat(5, []byte("hello")), heartbeat(11, []byte("keep-alive!"))},
+		// Claim 2600 bytes with a 4-byte payload: uninitialized read of
+		// the recycled record buffer plus overread past its end.
+		Attack: heartbeat(2600, []byte("EVIL")),
+		Success: func(res *prog.Result) bool {
+			return !res.Crashed() && ContainsSecret(res.Output)
+		},
+	}
+}
+
+// HeartbleedShort returns the pure-uninitialized-read variant: the
+// claimed length stays within the record buffer, so no overread occurs
+// (the paper's l < 34K regime).
+func HeartbleedShort() *Case {
+	c := Heartbleed()
+	c.Name = "heartbleed-short"
+	c.Types = patch.TypeUninitRead
+	c.Attack = heartbeat(1200, []byte("EVIL"))
+	return c
+}
+
+// heartbeat builds a heartbeat request claiming plen payload bytes.
+func heartbeat(plen uint16, payload []byte) []byte {
+	req := []byte{0x18}
+	req = binary.LittleEndian.AppendUint16(req, plen)
+	return append(req, payload...)
+}
+
+// BC models the BugBench bc-1.06 heap overflow: the parser stores
+// array elements with no bounds check, so extra input overwrites
+// adjacent heap data (here, a privilege flag).
+func BC() *Case {
+	p := prog.MustLink(&prog.Program{
+		Name: "bc",
+		Funcs: map[string]*prog.Func{
+			"main": {Body: []prog.Stmt{
+				prog.Call{Callee: "parse_numbers"},
+			}},
+			"parse_numbers": {Body: []prog.Stmt{
+				// 16 slots of 8 bytes.
+				prog.Alloc{Dst: "arr", Size: prog.C(128)},
+				// Adjacent allocation: corruption target.
+				prog.Alloc{Dst: "flag", Size: prog.C(16)},
+				prog.Store{Base: prog.V("flag"), Src: prog.C(0)},
+				prog.Assign{Dst: "i", E: prog.C(0)},
+				prog.Assign{Dst: "n", E: prog.InputLen{}},
+				prog.While{Cond: prog.Lt(prog.V("i"), prog.V("n")), Body: []prog.Stmt{
+					prog.ReadInput{Dst: "b", N: prog.C(1)},
+					// The bug: i is never checked against capacity.
+					prog.Store{
+						Base: prog.V("arr"),
+						Off:  prog.Mul(prog.V("i"), prog.C(8)),
+						Src:  prog.V("b"), N: prog.C(8),
+					},
+					prog.Assign{Dst: "i", E: prog.Add(prog.V("i"), prog.C(1))},
+				}},
+				prog.Load{Dst: "f", Base: prog.V("flag"), N: prog.C(8)},
+				prog.If{Cond: prog.Ne(prog.V("f"), prog.C(0)), Then: []prog.Stmt{
+					prog.OutputVar{Src: "f"}, // corrupted: attacker value escaped
+				}, Else: []prog.Stmt{
+					prog.Assign{Dst: "ok", E: prog.C(0)},
+					prog.OutputVar{Src: "ok"},
+				}},
+			}},
+		},
+	})
+	attack := make([]byte, 20) // 20 entries: writes through the neighbor
+	for i := range attack {
+		attack[i] = 0x41
+	}
+	return &Case{
+		Name:    "bc",
+		Ref:     "BugBench bc-1.06",
+		Types:   patch.TypeOverflow,
+		Program: p,
+		Benign:  [][]byte{{1, 2, 3}, make([]byte, 16)},
+		Attack:  attack,
+		Success: func(res *prog.Result) bool {
+			if res.Crashed() || len(res.Output) != 8 {
+				return false
+			}
+			return (prog.Value{Bytes: res.Output}).Uint() != 0
+		},
+	}
+}
+
+// GhostXPS models CVE-2017-9740: glyph entries whose initialization is
+// skipped for crafted flag bytes are rendered (output) anyway, leaking
+// recycled heap memory.
+func GhostXPS() *Case {
+	p := prog.MustLink(&prog.Program{
+		Name: "ghostxps",
+		Funcs: map[string]*prog.Func{
+			"main": {Body: []prog.Stmt{
+				prog.Call{Callee: "stale_document"},
+				prog.Call{Callee: "render_glyphs"},
+			}},
+			"stale_document": {Body: []prog.Stmt{
+				// Earlier document processing leaves secrets in a block
+				// the glyph table will recycle.
+				prog.Alloc{Dst: "doc", Size: prog.C(128)},
+				prog.StoreBytes{Base: prog.V("doc"), Off: prog.C(8), Data: []byte(Secret)},
+				prog.FreeStmt{Ptr: prog.V("doc")},
+			}},
+			"render_glyphs": {Body: []prog.Stmt{
+				prog.Alloc{Dst: "glyphs", Size: prog.C(128)}, // 16 entries x 8
+				prog.Assign{Dst: "i", E: prog.C(0)},
+				prog.While{Cond: prog.Lt(prog.V("i"), prog.C(16)), Body: []prog.Stmt{
+					prog.ReadInput{Dst: "flag", N: prog.C(1)},
+					// The bug: entries with flag 0 are never initialized
+					// but rendered below regardless.
+					prog.If{Cond: prog.Ne(prog.Bin{Op: prog.OpAnd, A: prog.V("flag"), B: prog.C(0xFF)}, prog.C(0)), Then: []prog.Stmt{
+						prog.Store{
+							Base: prog.V("glyphs"),
+							Off:  prog.Mul(prog.V("i"), prog.C(8)),
+							Src:  prog.C(0x676C797068), N: prog.C(8),
+						},
+					}},
+					prog.Assign{Dst: "i", E: prog.Add(prog.V("i"), prog.C(1))},
+				}},
+				prog.Output{Base: prog.V("glyphs"), N: prog.C(128)},
+			}},
+		},
+	})
+	ones := bytes16(1)
+	return &Case{
+		Name:    "ghostxps",
+		Ref:     "CVE-2017-9740",
+		Types:   patch.TypeUninitRead,
+		Program: p,
+		Benign:  [][]byte{ones},
+		Attack:  bytes16(0), // skip all initialization
+		Success: func(res *prog.Result) bool {
+			return !res.Crashed() && ContainsSecret(res.Output)
+		},
+	}
+}
+
+func bytes16(b byte) []byte {
+	out := make([]byte, 16)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}
+
+// OptiPNG models CVE-2015-7801: an error path frees the callback
+// table but the pointer stays live; attacker-controlled data recycled
+// into the same block redirects the later "indirect call".
+func OptiPNG() *Case {
+	const goodHandler = 0x600D
+	p := prog.MustLink(&prog.Program{
+		Name: "optipng",
+		Funcs: map[string]*prog.Func{
+			"main": {Body: []prog.Stmt{
+				prog.Call{Callee: "process_png"},
+			}},
+			"process_png": {Body: []prog.Stmt{
+				prog.Alloc{Dst: "cb", Size: prog.C(64)},
+				prog.Store{Base: prog.V("cb"), Src: prog.C(goodHandler)},
+				prog.ReadInput{Dst: "magic", N: prog.C(1)},
+				// The bug: the malformed-palette path frees cb but the
+				// pointer is used below regardless.
+				prog.If{Cond: prog.Eq(prog.Bin{Op: prog.OpAnd, A: prog.V("magic"), B: prog.C(0xFF)}, prog.C(0xFF)), Then: []prog.Stmt{
+					prog.FreeStmt{Ptr: prog.V("cb")},
+				}},
+				// Attacker-controlled "comment" allocation grooms the
+				// freed block.
+				prog.Alloc{Dst: "comment", Size: prog.C(64)},
+				prog.ReadInput{Dst: "cdata", N: prog.C(8)},
+				prog.StoreVar{Base: prog.V("comment"), Src: "cdata"},
+				// Victim dereferences the dangling pointer.
+				prog.Load{Dst: "handler", Base: prog.V("cb"), N: prog.C(8)},
+				prog.OutputVar{Src: "handler"},
+			}},
+		},
+	})
+	evil := []byte{0x0D, 0xF0, 0xAD, 0xDE, 0, 0, 0, 0} // 0xDEADF00D
+	return &Case{
+		Name:    "optipng",
+		Ref:     "CVE-2015-7801",
+		Types:   patch.TypeUseAfterFree,
+		Program: p,
+		Benign:  [][]byte{append([]byte{0x00}, evil...)},
+		Attack:  append([]byte{0xFF}, evil...),
+		Success: func(res *prog.Result) bool {
+			if res.Crashed() || len(res.Output) != 8 {
+				return false
+			}
+			return (prog.Value{Bytes: res.Output}).Uint() == 0xDEADF00D
+		},
+	}
+}
+
+// Tiff models CVE-2017-9935 (t2p_write_pdf heap overflow): tile data
+// of attacker-controlled length is copied into a fixed PDF buffer,
+// overwriting adjacent metadata.
+func Tiff() *Case {
+	marker := []byte("METAOK__")
+	p := prog.MustLink(&prog.Program{
+		Name: "tiff",
+		Funcs: map[string]*prog.Func{
+			"main": {Body: []prog.Stmt{
+				prog.Call{Callee: "read_tiff"},
+			}},
+			"read_tiff": {Body: []prog.Stmt{
+				prog.Call{Callee: "t2p_write_pdf"},
+			}},
+			"t2p_write_pdf": {Body: []prog.Stmt{
+				prog.Alloc{Dst: "pdfbuf", Size: prog.C(256)},
+				prog.Alloc{Dst: "meta", Size: prog.C(32)},
+				prog.StoreBytes{Base: prog.V("meta"), Data: marker},
+				prog.ReadInput{Dst: "tile", N: prog.InputRemaining{}},
+				// The bug: tile length is never validated against the
+				// 256-byte PDF buffer.
+				prog.StoreVar{Base: prog.V("pdfbuf"), Src: "tile"},
+				prog.Output{Base: prog.V("meta"), N: prog.C(8)},
+			}},
+		},
+	})
+	attack := make([]byte, 280)
+	for i := range attack {
+		attack[i] = 0xCC
+	}
+	return &Case{
+		Name:    "tiff",
+		Ref:     "CVE-2017-9935",
+		Types:   patch.TypeOverflow,
+		Program: p,
+		Benign:  [][]byte{[]byte("small tile"), make([]byte, 256)},
+		Attack:  attack,
+		Success: func(res *prog.Result) bool {
+			if res.Crashed() {
+				return false
+			}
+			return string(res.Output) != string(marker)
+		},
+	}
+}
+
+// WavPack models CVE-2018-7253: a malformed chunk frees the header
+// buffer, a later legitimate allocation reuses the block, and a stale
+// write through the dangling pointer corrupts the new owner.
+func WavPack() *Case {
+	token := []byte("AUTH-TOKEN-GOOD!")
+	p := prog.MustLink(&prog.Program{
+		Name: "wavpack",
+		Funcs: map[string]*prog.Func{
+			"main": {Body: []prog.Stmt{
+				prog.Call{Callee: "decode"},
+			}},
+			"decode": {Body: []prog.Stmt{
+				prog.Alloc{Dst: "hdr", Size: prog.C(48)},
+				prog.ReadInput{Dst: "tag", N: prog.C(1)},
+				prog.If{Cond: prog.Eq(prog.Bin{Op: prog.OpAnd, A: prog.V("tag"), B: prog.C(0xFF)}, prog.C(0xBD)), Then: []prog.Stmt{
+					prog.FreeStmt{Ptr: prog.V("hdr")}, // malformed chunk path
+				}},
+				// New owner of the (possibly recycled) block.
+				prog.Alloc{Dst: "session", Size: prog.C(48)},
+				prog.StoreBytes{Base: prog.V("session"), Data: token},
+				// The bug: stale pointer write.
+				prog.ReadInput{Dst: "inject", N: prog.C(16)},
+				prog.StoreVar{Base: prog.V("hdr"), Src: "inject"},
+				prog.Output{Base: prog.V("session"), N: prog.C(16)},
+			}},
+		},
+	})
+	inject := []byte("AUTH-TOKEN-EVIL!")
+	return &Case{
+		Name:    "wavpack",
+		Ref:     "CVE-2018-7253",
+		Types:   patch.TypeUseAfterFree,
+		Program: p,
+		Benign:  [][]byte{append([]byte{0x00}, inject...)},
+		Attack:  append([]byte{0xBD}, inject...),
+		Success: func(res *prog.Result) bool {
+			if res.Crashed() {
+				return false
+			}
+			return string(res.Output) == string(inject)
+		},
+	}
+}
+
+// LibMing models CVE-2018-7877: the frame count trusted from the SWF
+// header exceeds the fixed frame table, overflowing into adjacent
+// control data. The table is calloc'd, exercising a second allocation
+// API in the corpus.
+func LibMing() *Case {
+	p := prog.MustLink(&prog.Program{
+		Name: "libming",
+		Funcs: map[string]*prog.Func{
+			"main": {Body: []prog.Stmt{
+				prog.Call{Callee: "parse_swf"},
+			}},
+			"parse_swf": {Body: []prog.Stmt{
+				prog.ReadInput{Dst: "nframes", N: prog.C(1)},
+				prog.Assign{Dst: "n", E: prog.Bin{Op: prog.OpAnd, A: prog.V("nframes"), B: prog.C(0xFF)}},
+				prog.Alloc{Dst: "frames", Fn: heapsim.FnCalloc, Size: prog.C(4), N: prog.C(8)},
+				prog.Alloc{Dst: "auth", Size: prog.C(16)},
+				prog.Store{Base: prog.V("auth"), Src: prog.C(0)},
+				prog.Assign{Dst: "i", E: prog.C(0)},
+				prog.While{Cond: prog.Lt(prog.V("i"), prog.V("n")), Body: []prog.Stmt{
+					prog.ReadInput{Dst: "fb", N: prog.C(1)},
+					prog.Store{
+						Base: prog.V("frames"),
+						Off:  prog.Mul(prog.V("i"), prog.C(4)),
+						Src:  prog.V("fb"), N: prog.C(4),
+					},
+					prog.Assign{Dst: "i", E: prog.Add(prog.V("i"), prog.C(1))},
+				}},
+				prog.Load{Dst: "a", Base: prog.V("auth"), N: prog.C(8)},
+				prog.OutputVar{Src: "a"},
+			}},
+		},
+	})
+	attack := append([]byte{14}, bytes16(0x77)[:14]...)
+	return &Case{
+		Name:    "libming",
+		Ref:     "CVE-2018-7877",
+		Types:   patch.TypeOverflow,
+		Program: p,
+		Benign:  [][]byte{append([]byte{4}, 1, 2, 3, 4)},
+		Attack:  attack,
+		Success: func(res *prog.Result) bool {
+			if res.Crashed() || len(res.Output) != 8 {
+				return false
+			}
+			return (prog.Value{Bytes: res.Output}).Uint() != 0
+		},
+	}
+}

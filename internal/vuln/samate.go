@@ -1,0 +1,314 @@
+package vuln
+
+import (
+	"fmt"
+
+	"heaptherapy/internal/heapsim"
+	"heaptherapy/internal/patch"
+	"heaptherapy/internal/prog"
+)
+
+// SamateCases builds the 23-program synthetic suite standing in for
+// NIST's SAMATE dataset (Table II's last row: "23 heap bugs"). The
+// cases cover the three vulnerability classes across allocation APIs
+// (malloc, calloc, memalign, realloc), call depths, and read/write
+// variants, so the pipeline's patch keys exercise every {FUN, CCID}
+// shape the online defense must match.
+func SamateCases() []*Case {
+	var cases []*Case
+
+	// Overflow writes: 6 cases over {malloc, calloc, memalign} x depth.
+	for _, fn := range []heapsim.AllocFn{heapsim.FnMalloc, heapsim.FnCalloc, heapsim.FnMemalign} {
+		for _, depth := range []int{1, 2} {
+			cases = append(cases, overflowWriteCase(fn, depth))
+		}
+	}
+	// Overflow reads: 4 cases over {malloc, memalign} x depth.
+	for _, fn := range []heapsim.AllocFn{heapsim.FnMalloc, heapsim.FnMemalign} {
+		for _, depth := range []int{1, 2} {
+			cases = append(cases, overflowReadCase(fn, depth))
+		}
+	}
+	// Use-after-free reads: 4 cases over {malloc, calloc} x depth.
+	for _, fn := range []heapsim.AllocFn{heapsim.FnMalloc, heapsim.FnCalloc} {
+		for _, depth := range []int{1, 2} {
+			cases = append(cases, uafReadCase(fn, depth))
+		}
+	}
+	// Use-after-free writes: 3 cases.
+	for _, depth := range []int{1, 2, 3} {
+		cases = append(cases, uafWriteCase(depth))
+	}
+	// Uninitialized reads: 6 cases over {malloc, memalign, realloc} x depth.
+	for _, kind := range []string{"malloc", "memalign", "realloc"} {
+		for _, depth := range []int{1, 2} {
+			cases = append(cases, uninitReadCase(kind, depth))
+		}
+	}
+	return cases
+}
+
+// wrapDepth nests body inside `depth` intermediate functions, giving
+// each case a distinct calling-context shape.
+func wrapDepth(funcs map[string]*prog.Func, depth int, body []prog.Stmt) {
+	funcs["main"] = &prog.Func{Body: []prog.Stmt{prog.Call{Callee: "level1"}}}
+	for i := 1; i < depth; i++ {
+		funcs[fmt.Sprintf("level%d", i)] = &prog.Func{
+			Body: []prog.Stmt{prog.Call{Callee: fmt.Sprintf("level%d", i+1)}},
+		}
+	}
+	funcs[fmt.Sprintf("level%d", depth)] = &prog.Func{Body: body}
+}
+
+// allocStmt builds an allocation of the requested API for size bytes.
+func allocStmt(dst string, fn heapsim.AllocFn, size uint64) prog.Stmt {
+	switch fn {
+	case heapsim.FnCalloc:
+		return prog.Alloc{Dst: dst, Fn: fn, Size: prog.C(8), N: prog.C(size / 8)}
+	case heapsim.FnMemalign, heapsim.FnAlignedAlloc:
+		return prog.Alloc{Dst: dst, Fn: fn, Size: prog.C(size), Align: prog.C(64)}
+	default:
+		return prog.Alloc{Dst: dst, Fn: fn, Size: prog.C(size)}
+	}
+}
+
+// overflowWriteCase: input bytes are stored at 8-byte stride with no
+// bounds check; the neighbor's first word is the corruption oracle.
+func overflowWriteCase(fn heapsim.AllocFn, depth int) *Case {
+	const bufSize = 64
+	funcs := make(map[string]*prog.Func)
+	wrapDepth(funcs, depth, []prog.Stmt{
+		allocStmt("buf", fn, bufSize),
+		// A large victim is always carved from the wilderness right
+		// after buf's chunk, even when memalign splits off a free
+		// prefix that a small allocation would land in instead.
+		prog.Alloc{Dst: "victim", Size: prog.C(512)},
+		prog.Store{Base: prog.V("victim"), Src: prog.C(0)},
+		prog.Assign{Dst: "i", E: prog.C(0)},
+		prog.Assign{Dst: "n", E: prog.InputLen{}},
+		prog.While{Cond: prog.Lt(prog.V("i"), prog.V("n")), Body: []prog.Stmt{
+			prog.ReadInput{Dst: "b", N: prog.C(1)},
+			prog.Store{
+				Base: prog.V("buf"),
+				Off:  prog.Mul(prog.V("i"), prog.C(8)),
+				Src:  prog.V("b"), N: prog.C(8),
+			},
+			prog.Assign{Dst: "i", E: prog.Add(prog.V("i"), prog.C(1))},
+		}},
+		prog.Load{Dst: "v", Base: prog.V("victim"), N: prog.C(8)},
+		prog.OutputVar{Src: "v"},
+	})
+	p := prog.MustLink(&prog.Program{
+		Name:  fmt.Sprintf("samate-ofw-%s-d%d", fn, depth),
+		Funcs: funcs,
+	})
+	// Enough one-byte entries to stride across the neighbor's header
+	// and metadata into its payload under every backend layout,
+	// including the memalign prefix/tail remainders.
+	attack := make([]byte, 40)
+	for i := range attack {
+		attack[i] = 0x61
+	}
+	return &Case{
+		Name:    p.Name,
+		Ref:     "SAMATE-style heap overflow (write)",
+		Types:   patch.TypeOverflow,
+		Program: p,
+		Benign:  [][]byte{{7, 7, 7}, make([]byte, 8)},
+		Attack:  attack,
+		Success: func(res *prog.Result) bool {
+			if res.Crashed() || len(res.Output) != 8 {
+				return false
+			}
+			return (prog.Value{Bytes: res.Output}).Uint() != 0
+		},
+	}
+}
+
+// overflowReadCase: the attacker-supplied length drives an output of
+// the buffer, overreading into the neighboring secret.
+func overflowReadCase(fn heapsim.AllocFn, depth int) *Case {
+	const bufSize = 64
+	funcs := make(map[string]*prog.Func)
+	wrapDepth(funcs, depth, []prog.Stmt{
+		allocStmt("buf", fn, bufSize),
+		prog.Alloc{Dst: "priv", Size: prog.C(64)},
+		prog.StoreBytes{Base: prog.V("priv"), Data: []byte(Secret)},
+		prog.Memset{Dst: prog.V("buf"), B: prog.C('A'), N: prog.C(bufSize)},
+		prog.ReadInput{Dst: "len", N: prog.C(2)},
+		prog.Output{Base: prog.V("buf"), N: prog.V("len")},
+	})
+	p := prog.MustLink(&prog.Program{
+		Name:  fmt.Sprintf("samate-ofr-%s-d%d", fn, depth),
+		Funcs: funcs,
+	})
+	return &Case{
+		Name:    p.Name,
+		Ref:     "SAMATE-style heap overflow (read)",
+		Types:   patch.TypeOverflow,
+		Program: p,
+		Benign:  [][]byte{{bufSize, 0}, {16, 0}},
+		Attack:  []byte{0, 1}, // 256 bytes: reads across the neighbor
+		Success: func(res *prog.Result) bool {
+			return !res.Crashed() && ContainsSecret(res.Output)
+		},
+	}
+}
+
+// uafReadCase: an error path frees the handler table; a groom
+// allocation recycles the block; the stale read leaks attacker data.
+func uafReadCase(fn heapsim.AllocFn, depth int) *Case {
+	const goodHandler = 0x0600D
+	funcs := make(map[string]*prog.Func)
+	wrapDepth(funcs, depth, []prog.Stmt{
+		allocStmt("obj", fn, 64),
+		prog.Store{Base: prog.V("obj"), Src: prog.C(goodHandler)},
+		prog.ReadInput{Dst: "trigger", N: prog.C(1)},
+		prog.If{Cond: prog.Eq(prog.Bin{Op: prog.OpAnd, A: prog.V("trigger"), B: prog.C(0xFF)}, prog.C(0xEE)), Then: []prog.Stmt{
+			prog.FreeStmt{Ptr: prog.V("obj")},
+		}},
+		prog.Alloc{Dst: "groom", Size: prog.C(64)},
+		prog.ReadInput{Dst: "payload", N: prog.C(8)},
+		prog.StoreVar{Base: prog.V("groom"), Src: "payload"},
+		prog.Load{Dst: "h", Base: prog.V("obj"), N: prog.C(8)},
+		prog.OutputVar{Src: "h"},
+	})
+	p := prog.MustLink(&prog.Program{
+		Name:  fmt.Sprintf("samate-uafr-%s-d%d", fn, depth),
+		Funcs: funcs,
+	})
+	evil := []byte{0xBE, 0xBA, 0xFE, 0xCA, 0, 0, 0, 0}
+	// The groom allocation reuses the freed block only when the
+	// underlying request sizes match; calloc objects are 64 bytes too.
+	return &Case{
+		Name:    p.Name,
+		Ref:     "SAMATE-style use after free (read)",
+		Types:   patch.TypeUseAfterFree,
+		Program: p,
+		Benign:  [][]byte{append([]byte{0x00}, evil...)},
+		Attack:  append([]byte{0xEE}, evil...),
+		Success: func(res *prog.Result) bool {
+			if res.Crashed() || len(res.Output) != 8 {
+				return false
+			}
+			return (prog.Value{Bytes: res.Output}).Uint() == 0xCAFEBABE
+		},
+	}
+}
+
+// uafWriteCase: the dangling pointer is written after the block has a
+// new owner, corrupting the owner's data.
+func uafWriteCase(depth int) *Case {
+	token := []byte("token-GOOD")
+	funcs := make(map[string]*prog.Func)
+	wrapDepth(funcs, depth, []prog.Stmt{
+		prog.Alloc{Dst: "stale", Size: prog.C(80)},
+		prog.ReadInput{Dst: "trigger", N: prog.C(1)},
+		prog.If{Cond: prog.Eq(prog.Bin{Op: prog.OpAnd, A: prog.V("trigger"), B: prog.C(0xFF)}, prog.C(0xEE)), Then: []prog.Stmt{
+			prog.FreeStmt{Ptr: prog.V("stale")},
+		}},
+		prog.Alloc{Dst: "owner", Size: prog.C(80)},
+		prog.StoreBytes{Base: prog.V("owner"), Data: token},
+		prog.ReadInput{Dst: "inject", N: prog.C(10)},
+		prog.StoreVar{Base: prog.V("stale"), Src: "inject"},
+		prog.Output{Base: prog.V("owner"), N: prog.C(10)},
+	})
+	p := prog.MustLink(&prog.Program{
+		Name:  fmt.Sprintf("samate-uafw-d%d", depth),
+		Funcs: funcs,
+	})
+	inject := []byte("token-EVIL")
+	return &Case{
+		Name:    p.Name,
+		Ref:     "SAMATE-style use after free (write)",
+		Types:   patch.TypeUseAfterFree,
+		Program: p,
+		Benign:  [][]byte{append([]byte{0x00}, inject...)},
+		Attack:  append([]byte{0xEE}, inject...),
+		Success: func(res *prog.Result) bool {
+			return !res.Crashed() && string(res.Output) == string(inject)
+		},
+	}
+}
+
+// uninitReadCase: initialization is skipped for the attack input, and
+// the recycled buffer contents reach the output.
+func uninitReadCase(kind string, depth int) *Case {
+	const size = 128
+	var (
+		alloc prog.Stmt
+		fn    heapsim.AllocFn
+	)
+	body := []prog.Stmt{
+		// Plant the secret in a block the vulnerable buffer recycles.
+		prog.Alloc{Dst: "old", Size: prog.C(size)},
+		prog.StoreBytes{Base: prog.V("old"), Off: prog.C(16), Data: []byte(Secret)},
+		prog.FreeStmt{Ptr: prog.V("old")},
+	}
+	switch kind {
+	case "memalign":
+		fn = heapsim.FnMemalign
+		alloc = allocStmt("buf", fn, size)
+		// Recycle bait shaped like the memalign request.
+		body = []prog.Stmt{
+			allocStmt("old", fn, size),
+			prog.StoreBytes{Base: prog.V("old"), Off: prog.C(16), Data: []byte(Secret)},
+			prog.FreeStmt{Ptr: prog.V("old")},
+		}
+	case "realloc":
+		fn = heapsim.FnRealloc
+	default:
+		fn = heapsim.FnMalloc
+		alloc = allocStmt("buf", fn, size)
+	}
+
+	if kind == "realloc" {
+		// buf starts small and fully initialized; the realloc'd tail is
+		// not, and the move lands on the recycled secret block. The
+		// bait is planted AFTER buf and its blocker so that buf's own
+		// allocation cannot consume the freed secret block first.
+		body = []prog.Stmt{
+			prog.Alloc{Dst: "buf", Size: prog.C(32)},
+			prog.Memset{Dst: prog.V("buf"), B: prog.C('B'), N: prog.C(32)},
+			prog.Alloc{Dst: "blocker", Size: prog.C(16)}, // forces realloc to move
+			prog.Alloc{Dst: "old", Size: prog.C(size)},
+			prog.StoreBytes{Base: prog.V("old"), Off: prog.C(40), Data: []byte(Secret)},
+			prog.FreeStmt{Ptr: prog.V("old")},
+		}
+		body = append(body,
+			prog.ReadInput{Dst: "doinit", N: prog.C(1)},
+			prog.ReallocStmt{Dst: "buf", Ptr: prog.V("buf"), Size: prog.C(size)},
+			prog.If{Cond: prog.Ne(prog.Bin{Op: prog.OpAnd, A: prog.V("doinit"), B: prog.C(0xFF)}, prog.C(0)), Then: []prog.Stmt{
+				prog.Memset{Dst: prog.V("buf"), B: prog.C('B'), N: prog.C(size)},
+			}},
+			prog.Output{Base: prog.V("buf"), N: prog.C(size)},
+		)
+	} else {
+		body = append(body,
+			alloc,
+			prog.ReadInput{Dst: "doinit", N: prog.C(1)},
+			prog.If{Cond: prog.Ne(prog.Bin{Op: prog.OpAnd, A: prog.V("doinit"), B: prog.C(0xFF)}, prog.C(0)), Then: []prog.Stmt{
+				prog.Memset{Dst: prog.V("buf"), B: prog.C('I'), N: prog.C(size)},
+			}},
+			prog.Output{Base: prog.V("buf"), N: prog.C(size)},
+		)
+	}
+
+	funcs := make(map[string]*prog.Func)
+	wrapDepth(funcs, depth, body)
+	p := prog.MustLink(&prog.Program{
+		Name:  fmt.Sprintf("samate-ur-%s-d%d", kind, depth),
+		Funcs: funcs,
+	})
+	return &Case{
+		Name:    p.Name,
+		Ref:     "SAMATE-style uninitialized read",
+		Types:   patch.TypeUninitRead,
+		Program: p,
+		Benign:  [][]byte{{1}},
+		Attack:  []byte{0},
+		Success: func(res *prog.Result) bool {
+			return !res.Crashed() && ContainsSecret(res.Output)
+		},
+	}
+}

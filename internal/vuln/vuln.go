@@ -1,0 +1,88 @@
+// Package vuln is the vulnerable-program corpus used to evaluate
+// HeapTherapy+'s effectiveness (Table II of the paper).
+//
+// The paper evaluates on real CVEs: Heartbleed (CVE-2014-0160), bc
+// from BugBench, GhostXPS (CVE-2017-9740), optipng (CVE-2015-7801),
+// LibTIFF (CVE-2017-9935), WavPack (CVE-2018-7253), libming
+// (CVE-2018-7877), and NIST's SAMATE dataset (23 heap bugs). Those
+// binaries cannot run on the simulated heap, so each corpus entry
+// models the CVE's vulnerability class and exploit mechanics — the
+// attacker-controlled length driving an overread, the dangling pointer
+// over a recycled block, the skipped initialization leaking recycled
+// memory — as a program for the interpreter. Attack success is defined
+// observably (secret bytes in the output, corrupted adjacent state,
+// hijacked "handler" values), so the same checker shows the attack
+// working natively and defeated under the generated patches.
+package vuln
+
+import (
+	"bytes"
+
+	"heaptherapy/internal/patch"
+	"heaptherapy/internal/prog"
+)
+
+// Case is one vulnerable program with its inputs and attack oracle.
+type Case struct {
+	// Name identifies the case (program name in Table II).
+	Name string
+	// Ref is the modeled CVE or dataset reference.
+	Ref string
+	// Types is the vulnerability classes the offline analysis must
+	// find for the attack input.
+	Types patch.TypeMask
+	// Program is the linked program.
+	Program *prog.Program
+	// Benign are inputs a legitimate client would send; defended
+	// behaviour must match native behaviour on them.
+	Benign [][]byte
+	// Attack is the exploit input.
+	Attack []byte
+	// Success inspects an execution and reports whether the attack
+	// achieved its goal (leaked the secret, corrupted state, hijacked
+	// the handler). A crashed run is never a success: the attack was
+	// stopped even if ungracefully.
+	Success func(res *prog.Result) bool
+}
+
+// Secret is the sensitive string corpus programs plant in heap memory;
+// attack oracles look for it in program output.
+const Secret = "PRIVATE-KEY-0xD15EA5E-DO-NOT-LEAK"
+
+// ContainsSecret reports whether the output leaks the planted secret.
+func ContainsSecret(out []byte) bool {
+	return bytes.Contains(out, []byte(Secret))
+}
+
+// AllCases returns the full corpus: the seven named programs of
+// Table II plus the 23 SAMATE-style cases.
+func AllCases() []*Case {
+	cases := []*Case{
+		Heartbleed(),
+		BC(),
+		GhostXPS(),
+		OptiPNG(),
+		Tiff(),
+		WavPack(),
+		LibMing(),
+	}
+	cases = append(cases, SamateCases()...)
+	return cases
+}
+
+// Named returns only the seven named Table II programs.
+func Named() []*Case {
+	return []*Case{
+		Heartbleed(), BC(), GhostXPS(), OptiPNG(), Tiff(), WavPack(), LibMing(),
+	}
+}
+
+// ByName finds a case by name, or nil.
+func ByName(name string) *Case {
+	for _, c := range AllCases() {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}

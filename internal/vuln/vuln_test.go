@@ -1,0 +1,217 @@
+package vuln
+
+import (
+	"bytes"
+	"testing"
+
+	"heaptherapy/internal/core"
+	"heaptherapy/internal/encoding"
+	"heaptherapy/internal/patch"
+)
+
+// TestTableII runs the paper's effectiveness evaluation over the whole
+// corpus: for every program, (1) benign inputs work natively, (2) the
+// attack succeeds natively, (3) the Offline Patch Generator detects
+// the right vulnerability type(s) and emits patches, (4) the patched
+// Online Defense defeats the attack, and (5) benign behaviour is
+// unchanged under the defense.
+func TestTableII(t *testing.T) {
+	for _, c := range AllCases() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			sys, err := core.NewSystem(c.Program, core.Options{})
+			if err != nil {
+				t.Fatalf("NewSystem: %v", err)
+			}
+
+			// (1) Benign inputs behave natively.
+			benignOut := make([][]byte, len(c.Benign))
+			for i, in := range c.Benign {
+				res, err := sys.RunNative(in)
+				if err != nil {
+					t.Fatalf("benign native run: %v", err)
+				}
+				if res.Crashed() {
+					t.Fatalf("benign input %d crashed natively: %v", i, res.Fault)
+				}
+				if c.Success(res) {
+					t.Fatalf("benign input %d triggers the attack oracle", i)
+				}
+				benignOut[i] = res.Output
+			}
+
+			// (2) The attack succeeds on the undefended program.
+			res, err := sys.RunNative(c.Attack)
+			if err != nil {
+				t.Fatalf("attack native run: %v", err)
+			}
+			if !c.Success(res) {
+				t.Fatalf("attack does not succeed natively (crashed=%v output=%q)", res.Crashed(), res.Output)
+			}
+
+			// (3) Offline analysis generates patches of the right types.
+			rep, err := sys.GeneratePatches(c.Attack)
+			if err != nil {
+				t.Fatalf("GeneratePatches: %v", err)
+			}
+			if rep.Patches.Len() == 0 {
+				t.Fatalf("no patches generated; warnings: %v", rep.Warnings)
+			}
+			var union patch.TypeMask
+			for _, p := range rep.Patches.Patches() {
+				union |= p.Types
+			}
+			if !union.Has(c.Types) {
+				t.Errorf("patch types %v do not cover expected %v", union, c.Types)
+			}
+
+			// (4) The defended program defeats the attack.
+			dres, err := sys.RunDefended(c.Attack, rep.Patches)
+			if err != nil {
+				t.Fatalf("defended attack run: %v", err)
+			}
+			if c.Success(dres.Result) {
+				t.Errorf("attack still succeeds under defense (output %q)", dres.Result.Output)
+			}
+			if dres.Stats.PatchedAllocs == 0 {
+				t.Errorf("defense recognized no vulnerable allocations; CCIDs mismatched?")
+			}
+			if dres.HeapErr != nil {
+				t.Errorf("underlying heap corrupted despite contained attack: %v", dres.HeapErr)
+			}
+
+			// (5) Benign behaviour is preserved under the defense.
+			for i, in := range c.Benign {
+				bres, err := sys.RunDefended(in, rep.Patches)
+				if err != nil {
+					t.Fatalf("benign defended run: %v", err)
+				}
+				if bres.Result.Crashed() {
+					t.Fatalf("benign input %d crashed under defense: %v", i, bres.Result.Fault)
+				}
+				if !bytes.Equal(bres.Result.Output, benignOut[i]) {
+					t.Errorf("benign input %d output changed under defense:\n  native:   %q\n  defended: %q",
+						i, benignOut[i], bres.Result.Output)
+				}
+				if bres.HeapErr != nil {
+					t.Errorf("benign input %d corrupted the defended heap: %v", i, bres.HeapErr)
+				}
+			}
+		})
+	}
+}
+
+// TestCorpusSize pins the Table II shape: 7 named programs plus 23
+// SAMATE-style cases.
+func TestCorpusSize(t *testing.T) {
+	if got := len(Named()); got != 7 {
+		t.Errorf("named cases = %d, want 7", got)
+	}
+	if got := len(SamateCases()); got != 23 {
+		t.Errorf("SAMATE cases = %d, want 23", got)
+	}
+	if got := len(AllCases()); got != 30 {
+		t.Errorf("total cases = %d, want 30", got)
+	}
+	names := make(map[string]bool)
+	for _, c := range AllCases() {
+		if names[c.Name] {
+			t.Errorf("duplicate case name %q", c.Name)
+		}
+		names[c.Name] = true
+		if c.Program == nil || c.Attack == nil || len(c.Benign) == 0 || c.Success == nil {
+			t.Errorf("case %q is incomplete", c.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if c := ByName("heartbleed"); c == nil || c.Ref != "CVE-2014-0160" {
+		t.Error("ByName(heartbleed) failed")
+	}
+	if ByName("no-such-case") != nil {
+		t.Error("ByName of unknown case non-nil")
+	}
+}
+
+// TestHeartbleedShortVariant checks the paper's l < record-size regime:
+// a pure uninitialized read with no overread.
+func TestHeartbleedShortVariant(t *testing.T) {
+	c := HeartbleedShort()
+	sys, err := core.NewSystem(c.Program, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.RunNative(c.Attack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Success(res) {
+		t.Fatal("short heartbleed attack does not leak natively")
+	}
+	rep, err := sys.GeneratePatches(c.Attack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var union patch.TypeMask
+	for _, p := range rep.Patches.Patches() {
+		union |= p.Types
+	}
+	if !union.Has(patch.TypeUninitRead) {
+		t.Errorf("short variant types = %v, want UNINIT_READ", union)
+	}
+	if union.Has(patch.TypeOverflow) {
+		t.Errorf("short variant reported overflow; l < record size must not overread")
+	}
+	// Defended: the response must contain only zeros where the leak was.
+	dres, err := sys.RunDefended(c.Attack, rep.Patches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dres.Result.Crashed() {
+		t.Fatalf("short variant crashed under defense: %v", dres.Result.Fault)
+	}
+	out := dres.Result.Output
+	if len(out) < 100 {
+		t.Fatalf("defended output too short: %d bytes", len(out))
+	}
+	// Skip the 3-byte header and the 4 echoed payload bytes.
+	for i := 7; i < len(out); i++ {
+		if out[i] != 0 {
+			t.Fatalf("defended leak byte %d = %#x; want zero-filled", i, out[i])
+		}
+	}
+}
+
+// TestTableIIAcrossSchemes runs the flagship case under every planner
+// and encoder combination: patches generated under one instrumentation
+// must match online under the same instrumentation, regardless of the
+// scheme chosen.
+func TestTableIIAcrossSchemes(t *testing.T) {
+	for _, scheme := range encoding.AllSchemes() {
+		for _, kind := range encoding.AllEncoders() {
+			c := Heartbleed()
+			sys, err := core.NewSystem(c.Program, core.Options{Scheme: scheme, Encoder: kind})
+			if err != nil {
+				t.Fatalf("%v/%v: %v", scheme, kind, err)
+			}
+			rep, err := sys.GeneratePatches(c.Attack)
+			if err != nil {
+				t.Fatalf("%v/%v: analyze: %v", scheme, kind, err)
+			}
+			if rep.Patches.Len() == 0 {
+				t.Fatalf("%v/%v: no patches", scheme, kind)
+			}
+			dres, err := sys.RunDefended(c.Attack, rep.Patches)
+			if err != nil {
+				t.Fatalf("%v/%v: defended run: %v", scheme, kind, err)
+			}
+			if c.Success(dres.Result) {
+				t.Errorf("%v/%v: attack succeeds under defense", scheme, kind)
+			}
+			if dres.Stats.PatchedAllocs == 0 {
+				t.Errorf("%v/%v: offline CCID did not match online allocation", scheme, kind)
+			}
+		}
+	}
+}

@@ -1,0 +1,270 @@
+package workload
+
+import (
+	"testing"
+
+	"heaptherapy/internal/encoding"
+	"heaptherapy/internal/mem"
+	"heaptherapy/internal/prog"
+)
+
+func TestSpecBenchmarksTableIV(t *testing.T) {
+	benches := SpecBenchmarks()
+	if len(benches) != 12 {
+		t.Fatalf("benchmarks = %d, want 12 (SPEC CPU2006 integer)", len(benches))
+	}
+	// Pin a few Table IV rows exactly.
+	rows := map[string][3]uint64{
+		"400.perlbench":  {346_405_116, 0, 11_736_402},
+		"401.bzip2":      {174, 0, 0},
+		"429.mcf":        {5, 3, 0},
+		"462.libquantum": {1, 121, 58},
+		"483.xalancbmk":  {135_155_553, 0, 0},
+	}
+	for name, want := range rows {
+		b, err := BenchmarkByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Mallocs != want[0] || b.Callocs != want[1] || b.Reallocs != want[2] {
+			t.Errorf("%s counts = %d/%d/%d, want %d/%d/%d",
+				name, b.Mallocs, b.Callocs, b.Reallocs, want[0], want[1], want[2])
+		}
+	}
+	if _, err := BenchmarkByName("500.nonesuch"); err == nil {
+		t.Error("BenchmarkByName accepted unknown name")
+	}
+}
+
+func TestTargetsFollowTableIV(t *testing.T) {
+	b, _ := BenchmarkByName("401.bzip2")
+	if got := b.Targets(); len(got) != 1 || got[0] != "malloc" {
+		t.Errorf("bzip2 targets = %v, want [malloc]", got)
+	}
+	b, _ = BenchmarkByName("462.libquantum")
+	if got := b.Targets(); len(got) != 3 {
+		t.Errorf("libquantum targets = %v, want malloc+calloc+realloc", got)
+	}
+}
+
+func TestGraphsDeterministic(t *testing.T) {
+	b, _ := BenchmarkByName("403.gcc")
+	g1, t1, err := b.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _, err := b.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumNodes() != g2.NumNodes() || g1.NumEdges() != g2.NumEdges() {
+		t.Error("benchmark graph not deterministic")
+	}
+	if len(t1) == 0 {
+		t.Error("no targets in benchmark graph")
+	}
+}
+
+// TestTableIIIOrdering: for every benchmark, the instrumentation-size
+// ordering FCS >= TCS >= Slim >= Incremental must hold, and sparse
+// allocators must show a dramatic FCS->TCS collapse (the bzip2 row).
+func TestTableIIIOrdering(t *testing.T) {
+	for _, b := range SpecBenchmarks() {
+		g, targets, err := b.Graph()
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		var prev float64 = 1e18
+		pcts := make(map[encoding.Scheme]float64, 4)
+		for _, scheme := range encoding.AllSchemes() {
+			plan, err := encoding.NewPlan(scheme, g, targets)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := encoding.Cost(g, plan, encoding.EncoderPCC, b.FuncSize())
+			pct := rep.SizeIncreasePercent()
+			if pct > prev {
+				t.Errorf("%s: %v size %.2f%% > previous scheme's %.2f%%", b.Name, scheme, pct, prev)
+			}
+			prev = pct
+			pcts[scheme] = pct
+		}
+		if pcts[encoding.SchemeFCS] == 0 {
+			t.Errorf("%s: FCS size increase is zero", b.Name)
+		}
+	}
+
+	// The bzip2-style collapse: TCS is a tiny fraction of FCS.
+	b, _ := BenchmarkByName("401.bzip2")
+	g, targets, _ := b.Graph()
+	fcs, _ := encoding.NewPlan(encoding.SchemeFCS, g, targets)
+	tcs, _ := encoding.NewPlan(encoding.SchemeTCS, g, targets)
+	if ratio := float64(tcs.NumSites()) / float64(fcs.NumSites()); ratio > 0.25 {
+		t.Errorf("bzip2 TCS/FCS site ratio = %.2f, want < 0.25 (paper: 0.12%%/8.8%%)", ratio)
+	}
+
+	// The astar-style collapse: TCS close to FCS, Slim tiny.
+	b, _ = BenchmarkByName("473.astar")
+	g, targets, _ = b.Graph()
+	fcs, _ = encoding.NewPlan(encoding.SchemeFCS, g, targets)
+	tcs, _ = encoding.NewPlan(encoding.SchemeTCS, g, targets)
+	slim, _ := encoding.NewPlan(encoding.SchemeSlim, g, targets)
+	if ratio := float64(tcs.NumSites()) / float64(fcs.NumSites()); ratio < 0.5 {
+		t.Errorf("astar TCS/FCS = %.2f, want > 0.5 (paper: 7.0%%/7.0%%)", ratio)
+	}
+	if ratio := float64(slim.NumSites()) / float64(tcs.NumSites()); ratio > 0.5 {
+		t.Errorf("astar Slim/TCS = %.2f, want < 0.5 (paper: 0.2%%/7.0%%)", ratio)
+	}
+}
+
+func runProgram(t *testing.T, p *prog.Program) *prog.Result {
+	t.Helper()
+	space, err := mem.NewSpace(mem.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend, err := prog.NewNativeBackend(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := prog.New(p, prog.Config{Backend: backend})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := it.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashed() {
+		t.Fatalf("workload crashed: %v", res.Fault)
+	}
+	return res
+}
+
+// TestProgramsRunAndAllocate generates and executes every benchmark
+// program at high scale, checking allocation counts land in the right
+// ballpark of the scaled Table IV totals.
+func TestProgramsRunAndAllocate(t *testing.T) {
+	cfg := ProgramConfig{Scale: 1_000_000}
+	for _, b := range SpecBenchmarks() {
+		p, plan, err := b.Program(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		res := runProgram(t, p)
+		if res.Allocs == 0 {
+			t.Errorf("%s: no allocations executed", b.Name)
+		}
+		if res.Allocs != plan.PlannedAllocs {
+			t.Errorf("%s: %d allocs executed, plan says %d", b.Name, res.Allocs, plan.PlannedAllocs)
+		}
+		scaledTotal := cfg.scaled(b.Mallocs) + cfg.scaled(b.Callocs) + cfg.scaled(b.Reallocs)
+		// The driver rounds up to whole graph traversals; one full
+		// traversal is the floor.
+		limit := 3 * scaledTotal
+		if plan.AllocsPerIteration > limit {
+			limit = 2 * plan.AllocsPerIteration
+		}
+		if res.Allocs > limit {
+			t.Errorf("%s: %d allocs, want about %d (<= %d)", b.Name, res.Allocs, scaledTotal, limit)
+		}
+		if res.Frees != res.Allocs {
+			t.Errorf("%s: %d frees != %d allocs (workload must be leak-free)", b.Name, res.Frees, res.Allocs)
+		}
+	}
+}
+
+// TestAllocationIntensityOrdering: perlbench must be far more
+// allocation-intensive than bzip2 per unit of work, since that ratio
+// is what drives the Figure 8 overhead differences.
+func TestAllocationIntensityOrdering(t *testing.T) {
+	cfg := ProgramConfig{Scale: 1_000_000}
+	intensity := func(name string) float64 {
+		b, err := BenchmarkByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, _, err := b.Program(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := runProgram(t, p)
+		return float64(res.Allocs) / float64(res.Steps)
+	}
+	perl := intensity("400.perlbench")
+	bzip := intensity("401.bzip2")
+	if perl < 20*bzip {
+		t.Errorf("perlbench intensity %.6f not >> bzip2's %.6f", perl, bzip)
+	}
+}
+
+func TestLiveHeapProgram(t *testing.T) {
+	b, _ := BenchmarkByName("471.omnetpp")
+	p, err := b.LiveHeapProgram(ProgramConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, _ := mem.NewSpace(mem.Config{})
+	backend, _ := prog.NewNativeBackend(space)
+	it, err := prog.New(p, prog.Config{Backend: backend})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := it.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashed() {
+		t.Fatalf("live-heap program crashed: %v", res.Fault)
+	}
+	live := backend.Heap().Stats().InUseChunks
+	if live != uint64(b.LiveBuffers) {
+		t.Errorf("live chunks = %d, want %d", live, b.LiveBuffers)
+	}
+}
+
+func TestServicePrograms(t *testing.T) {
+	for _, s := range []*Service{Nginx(), MySQL()} {
+		p, err := s.Program(200, 20)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		res := runProgram(t, p)
+		wantAllocs := uint64(200*s.AllocsPerRequest + 20)
+		if res.Allocs != wantAllocs {
+			t.Errorf("%s: allocs = %d, want %d", s.Name, res.Allocs, wantAllocs)
+		}
+		if res.Frees != res.Allocs {
+			t.Errorf("%s: leaks: %d allocs, %d frees", s.Name, res.Allocs, res.Frees)
+		}
+	}
+}
+
+func TestServiceValidation(t *testing.T) {
+	if _, err := Nginx().Program(0, 10); err == nil {
+		t.Error("zero requests accepted")
+	}
+	if _, err := Nginx().Program(10, 0); err == nil {
+		t.Error("zero concurrency accepted")
+	}
+	// Concurrency above requests is clamped, not an error.
+	if _, err := Nginx().Program(5, 50); err != nil {
+		t.Errorf("clamped concurrency: %v", err)
+	}
+}
+
+// TestMySQLLessAllocIntensive pins the reason MySQL shows no
+// observable overhead in the paper.
+func TestMySQLLessAllocIntensive(t *testing.T) {
+	run := func(s *Service) float64 {
+		p, err := s.Program(100, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := runProgram(t, p)
+		return float64(res.Allocs) / float64(res.Steps)
+	}
+	if nginx, mysql := run(Nginx()), run(MySQL()); mysql > nginx/5 {
+		t.Errorf("MySQL intensity %.6f not << nginx %.6f", mysql, nginx)
+	}
+}
