@@ -1,0 +1,39 @@
+GO ?= go
+PKGS := ./...
+# Packages with concurrent components (interpreter threads, defended
+# allocator under concurrency) that the race detector must cover.
+RACE_PKGS := ./internal/defense/ ./internal/prog/
+
+.PHONY: all build test race vet fmt-check bench bench-json check
+
+all: check
+
+build:
+	$(GO) build $(PKGS)
+
+test:
+	$(GO) test $(PKGS)
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+vet:
+	$(GO) vet $(PKGS)
+
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# Hot-path kernel benchmarks (mem/shadow/defense). Compare runs with
+# benchstat: make bench > new.txt && benchstat old.txt new.txt
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkMemKernels|BenchmarkShadow|BenchmarkPatchLookup' -benchmem \
+		./internal/mem/ ./internal/shadow/ ./internal/defense/
+
+# Machine-readable end-to-end experiment timings (see BENCH_*.json).
+bench-json:
+	$(GO) run ./cmd/htp-bench -quick -json
+
+check: build vet fmt-check test race

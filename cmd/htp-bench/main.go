@@ -8,10 +8,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"heaptherapy/internal/experiments"
 )
@@ -28,6 +31,7 @@ func run(args []string) error {
 	exp := fs.String("exp", "all", "experiment to run: all, encoding, table2, table3, table4, fig8, fig9, services, concurrent, ablation, stackoffset, scaling, guard")
 	quick := fs.Bool("quick", false, "trim sweeps for a fast run")
 	scale := fs.Uint64("scale", 0, "divisor for Table IV allocation counts (default 10000)")
+	jsonOut := fs.Bool("json", false, "emit per-experiment wall time and allocations as JSON instead of rendered tables")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -96,22 +100,67 @@ func run(args []string) error {
 	}
 
 	selected := strings.Split(*exp, ",")
+	var results []benchResult
 	ran := 0
 	for _, r := range all {
 		if *exp != "all" && !contains(selected, r.name) {
 			continue
 		}
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
 		out, err := r.fn()
+		elapsed := time.Since(start)
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
 		if err != nil {
 			return fmt.Errorf("experiment %s: %w", r.name, err)
 		}
-		fmt.Println(out.String())
+		if *jsonOut {
+			results = append(results, benchResult{
+				Name:       r.name,
+				NsOp:       elapsed.Nanoseconds(),
+				AllocsOp:   after.Mallocs - before.Mallocs,
+				BytesAlloc: after.TotalAlloc - before.TotalAlloc,
+			})
+		} else {
+			fmt.Println(out.String())
+		}
 		ran++
 	}
 	if ran == 0 {
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(benchReport{
+			GoVersion:   runtime.Version(),
+			GOOS:        runtime.GOOS,
+			GOARCH:      runtime.GOARCH,
+			Quick:       *quick,
+			Experiments: results,
+		})
+	}
 	return nil
+}
+
+// benchReport is the machine-readable output of -json: one timing
+// record per experiment, suitable for committed BENCH_*.json baselines
+// and cross-run comparison.
+type benchReport struct {
+	GoVersion   string        `json:"go_version"`
+	GOOS        string        `json:"goos"`
+	GOARCH      string        `json:"goarch"`
+	Quick       bool          `json:"quick"`
+	Experiments []benchResult `json:"experiments"`
+}
+
+type benchResult struct {
+	Name       string `json:"name"`
+	NsOp       int64  `json:"ns_op"`
+	AllocsOp   uint64 `json:"allocs_op"`
+	BytesAlloc uint64 `json:"bytes_alloc"`
 }
 
 type stringer struct{ s string }

@@ -19,7 +19,10 @@ type Backend struct {
 	cycles uint64
 }
 
-var _ prog.HeapBackend = (*Backend)(nil)
+var (
+	_ prog.HeapBackend = (*Backend)(nil)
+	_ prog.BulkLoader  = (*Backend)(nil)
+)
 
 // NewBackend builds a defended execution backend in space.
 func NewBackend(space *mem.Space, cfg Config) (*Backend, error) {
@@ -65,6 +68,20 @@ func (b *Backend) Load(addr, n, _ uint64) (prog.Value, error) {
 		return prog.Value{}, err
 	}
 	return prog.Value{Bytes: data}, nil
+}
+
+// LoadInto implements prog.BulkLoader, reusing dst's byte capacity;
+// guard pages fault here exactly as in Load.
+func (b *Backend) LoadInto(dst *prog.Value, addr, n, _ uint64) error {
+	b.cycles += prog.CycMemOp + n/prog.CycBytesPerCycle
+	if uint64(cap(dst.Bytes)) >= n {
+		dst.Bytes = dst.Bytes[:n]
+	} else {
+		dst.Bytes = make([]byte, n)
+	}
+	dst.Valid = nil // defended loads carry no shadow
+	dst.Origin = nil
+	return b.space.ReadInto(addr, dst.Bytes)
 }
 
 // Store implements prog.HeapBackend; guard pages fault here.

@@ -106,6 +106,10 @@ type Stats struct {
 	// Lookups is the number of patch-table probes (one per allocation
 	// in ModeFull).
 	Lookups uint64
+	// LookupFaults counts patch-table lookups that faulted (corrupted
+	// or remapped table). Such a lookup aborts the allocation rather
+	// than silently proceeding unpatched.
+	LookupFaults uint64
 	// PatchedAllocs is the number of allocations recognized as
 	// vulnerable.
 	PatchedAllocs uint64
@@ -296,8 +300,15 @@ func (d *Defender) allocate(fn heapsim.AllocFn, ccid, size, align uint64, isReal
 		lookupFn = heapsim.FnRealloc
 	}
 	d.stats.Lookups++
-	types, probes := d.table.lookup(patch.Key{Fn: lookupFn, CCID: ccid})
+	types, probes, lerr := d.table.lookup(patch.Key{Fn: lookupFn, CCID: ccid})
 	d.cycles += cycLookup * uint64(probes)
+	if lerr != nil {
+		// A faulting table read means the defense configuration is gone
+		// or tampered with; treating it as "no patch installed" would
+		// disable the defense without a trace.
+		d.stats.LookupFaults++
+		return 0, fmt.Errorf("defense: patch lookup for CCID %#x: %w", ccid, lerr)
+	}
 	if types != 0 {
 		d.stats.PatchedAllocs++
 	}

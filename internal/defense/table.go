@@ -1,6 +1,7 @@
 package defense
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"heaptherapy/internal/mem"
@@ -99,24 +100,63 @@ func (t *patchTable) insert(key, value uint64) error {
 }
 
 // lookup probes for {FUN, CCID} and reports how many slots it touched
-// (so cost accounting reflects real probe work). The reads go through
-// the protected space (reads are permitted on the read-only pages).
-func (t *patchTable) lookup(k patch.Key) (patch.TypeMask, int) {
+// (so cost accounting reflects real probe work). One protection check
+// validates the whole sealed read-only table per lookup; the probes
+// then fetch both slot words from the borrowed view without further
+// per-word validation. A faulting table read — a corrupted or remapped
+// table — is surfaced as an error so the defense cannot be silently
+// disabled; the caller counts it.
+func (t *patchTable) lookup(k patch.Key) (patch.TypeMask, int, error) {
+	key := packKey(k)
+	view, err := t.view()
+	if err != nil {
+		return 0, 1, err
+	}
+	probes := 0
+	for i := mix(key); ; i++ {
+		probes++
+		off := (i % t.slots) * slotBytes
+		cur := binary.LittleEndian.Uint64(view[off : off+8])
+		if cur == 0 {
+			return 0, probes, nil
+		}
+		if cur == key {
+			return patch.TypeMask(binary.LittleEndian.Uint64(view[off+8 : off+16])), probes, nil
+		}
+	}
+}
+
+// view checks readability of the table's pages once (reads are
+// permitted on the read-only pages) and returns a borrowed slice over
+// the whole table.
+func (t *patchTable) view() ([]byte, error) {
+	if err := t.space.CheckRead(t.base, t.pages); err != nil {
+		return nil, fmt.Errorf("defense: patch table unreadable: %w", err)
+	}
+	return t.space.RawView(t.base, t.pages)
+}
+
+// refLookup is the naive predecessor of lookup: two independently
+// checked word loads per probe. Kept for differential testing.
+func (t *patchTable) refLookup(k patch.Key) (patch.TypeMask, int, error) {
 	key := packKey(k)
 	probes := 0
 	for i := mix(key); ; i++ {
 		probes++
 		addr := t.slotAddr(i)
 		cur, err := t.space.Load64(addr)
-		if err != nil || cur == 0 {
-			return 0, probes
+		if err != nil {
+			return 0, probes, fmt.Errorf("defense: patch table unreadable: %w", err)
+		}
+		if cur == 0 {
+			return 0, probes, nil
 		}
 		if cur == key {
 			v, err := t.space.Load64(addr + 8)
 			if err != nil {
-				return 0, probes
+				return 0, probes, fmt.Errorf("defense: patch table unreadable: %w", err)
 			}
-			return patch.TypeMask(v), probes
+			return patch.TypeMask(v), probes, nil
 		}
 	}
 }

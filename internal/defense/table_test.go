@@ -40,7 +40,10 @@ func TestPatchTableLookup(t *testing.T) {
 		{patch.Key{Fn: heapsim.FnRealloc, CCID: 7}, 0},
 	}
 	for _, c := range cases {
-		got, probes := table.lookup(c.key)
+		got, probes, err := table.lookup(c.key)
+		if err != nil {
+			t.Fatalf("lookup(%v@%#x): %v", c.key.Fn, c.key.CCID, err)
+		}
 		if got != c.want {
 			t.Errorf("lookup(%v@%#x) = %v, want %v", c.key.Fn, c.key.CCID, got, c.want)
 		}
@@ -76,14 +79,14 @@ func TestPatchTableZeroCCID(t *testing.T) {
 	// real patches, but the table must not corrupt on it.)
 	set := patch.NewSet(patch.Patch{Fn: 0, CCID: 0, Types: patch.TypeOverflow})
 	table, _ := newTestTable(t, set)
-	if got, _ := table.lookup(patch.Key{Fn: 0, CCID: 0}); got != patch.TypeOverflow {
+	if got, _, err := table.lookup(patch.Key{Fn: 0, CCID: 0}); err != nil || got != patch.TypeOverflow {
 		t.Errorf("zero-key lookup = %v, want OVERFLOW", got)
 	}
 }
 
 func TestPatchTableEmpty(t *testing.T) {
 	table, _ := newTestTable(t, patch.NewSet())
-	if got, _ := table.lookup(patch.Key{Fn: heapsim.FnMalloc, CCID: 42}); got != 0 {
+	if got, _, err := table.lookup(patch.Key{Fn: heapsim.FnMalloc, CCID: 42}); err != nil || got != 0 {
 		t.Errorf("empty table lookup = %v, want 0", got)
 	}
 }
@@ -103,7 +106,10 @@ func TestPatchTableManyEntries(t *testing.T) {
 	table, _ := newTestTable(t, set)
 	maxProbes := 0
 	for _, p := range set.Patches() {
-		got, probes := table.lookup(p.Key())
+		got, probes, err := table.lookup(p.Key())
+		if err != nil {
+			t.Fatalf("lookup(%#x): %v", p.CCID, err)
+		}
 		if got != p.Types {
 			t.Fatalf("lookup(%#x) = %v, want %v", p.CCID, got, p.Types)
 		}
@@ -139,13 +145,13 @@ func TestQuickPatchTableAgainstMap(t *testing.T) {
 			return false
 		}
 		for _, p := range set.Patches() {
-			if got, _ := table.lookup(p.Key()); got != set.Lookup(p.Key()) {
+			if got, _, err := table.lookup(p.Key()); err != nil || got != set.Lookup(p.Key()) {
 				return false
 			}
 		}
 		probeKey := patch.Key{Fn: heapsim.FnMalloc, CCID: probe}
-		got, _ := table.lookup(probeKey)
-		return got == set.Lookup(probeKey)
+		got, _, err := table.lookup(probeKey)
+		return err == nil && got == set.Lookup(probeKey)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)

@@ -12,6 +12,7 @@
 package mem
 
 import (
+	"encoding/binary"
 	"fmt"
 )
 
@@ -240,8 +241,37 @@ func (s *Space) ProtAt(addr uint64) (Prot, error) {
 }
 
 // check validates an access of n bytes at addr for the given kind and
-// returns a *FaultError pinpointing the first offending address.
+// returns a *FaultError pinpointing the first offending address. The
+// common case — an in-bounds access confined to one permitted page —
+// is decided with two comparisons; everything else falls through to
+// refCheck, whose per-page walk is also the reference implementation
+// the differential tests compare against.
 func (s *Space) check(addr, n uint64, kind AccessKind) error {
+	if n == 0 {
+		return nil
+	}
+	if addr >= s.base {
+		end := addr + n
+		if end > addr && end <= s.End() {
+			page := (addr - s.base) >> PageShift
+			if (end-1-s.base)>>PageShift == page {
+				need := ProtRead
+				if kind == AccessWrite {
+					need = ProtWrite
+				}
+				if s.prot[page]&need != 0 {
+					return nil
+				}
+			}
+		}
+	}
+	return s.refCheck(addr, n, kind)
+}
+
+// refCheck is the naive predecessor of check: the full multi-page
+// validation walk. It is the only place faults are counted, so the
+// fast path above cannot perturb fault accounting.
+func (s *Space) refCheck(addr, n uint64, kind AccessKind) error {
 	if n == 0 {
 		return nil
 	}
@@ -320,11 +350,32 @@ func (s *Space) Memset(addr uint64, b byte, n uint64) error {
 	if err := s.check(addr, n, AccessWrite); err != nil {
 		return err
 	}
-	region := s.data[addr-s.base : addr-s.base+n]
-	for i := range region {
-		region[i] = b
-	}
+	fillBytes(s.data[addr-s.base:addr-s.base+n], b)
 	return nil
+}
+
+// fillBytes fills dst with b. Zero fills compile to a memclr; nonzero
+// fills seed one byte and double it with copy, which runs at memmove
+// bandwidth instead of a byte loop.
+func fillBytes(dst []byte, b byte) {
+	if b == 0 {
+		clear(dst)
+		return
+	}
+	if len(dst) == 0 {
+		return
+	}
+	dst[0] = b
+	for filled := 1; filled < len(dst); filled *= 2 {
+		copy(dst[filled:], dst[:filled])
+	}
+}
+
+// refFill is the naive predecessor of fillBytes (differential tests).
+func refFill(dst []byte, b byte) {
+	for i := range dst {
+		dst[i] = b
+	}
 }
 
 // Memmove copies n bytes from src to dst with memmove overlap semantics.
@@ -351,6 +402,12 @@ func (s *Space) Load64(addr uint64) (uint64, error) {
 // validated the access.
 func (s *Space) load64(addr uint64) uint64 {
 	off := addr - s.base
+	return binary.LittleEndian.Uint64(s.data[off : off+8])
+}
+
+// refLoad64 is the naive predecessor of load64 (differential tests).
+func (s *Space) refLoad64(addr uint64) uint64 {
+	off := addr - s.base
 	var v uint64
 	for i := uint64(0); i < 8; i++ {
 		v |= uint64(s.data[off+i]) << (8 * i)
@@ -368,6 +425,12 @@ func (s *Space) Store64(addr, v uint64) error {
 }
 
 func (s *Space) store64(addr, v uint64) {
+	off := addr - s.base
+	binary.LittleEndian.PutUint64(s.data[off:off+8], v)
+}
+
+// refStore64 is the naive predecessor of store64 (differential tests).
+func (s *Space) refStore64(addr, v uint64) {
 	off := addr - s.base
 	for i := uint64(0); i < 8; i++ {
 		s.data[off+i] = byte(v >> (8 * i))
@@ -418,11 +481,67 @@ func (s *Space) RawMemset(addr uint64, b byte, n uint64) error {
 	if !s.Contains(addr, n) {
 		return &FaultError{Addr: addr, Kind: AccessWrite, Len: n, Reason: "unmapped address"}
 	}
-	region := s.data[addr-s.base : addr-s.base+n]
-	for i := range region {
-		region[i] = b
-	}
+	fillBytes(s.data[addr-s.base:addr-s.base+n], b)
 	return nil
+}
+
+// RawWriteByte stores one byte ignoring page protection: the per-byte
+// slow paths in package shadow land individual bytes in red zones and
+// freed blocks, and must not pay a slice header per byte to do so.
+func (s *Space) RawWriteByte(addr uint64, v byte) error {
+	if !s.Contains(addr, 1) {
+		return &FaultError{Addr: addr, Kind: AccessWrite, Len: 1, Reason: "unmapped address"}
+	}
+	s.data[addr-s.base] = v
+	return nil
+}
+
+// RawMemmove copies n bytes from src to dst with memmove overlap
+// semantics, ignoring page protection.
+func (s *Space) RawMemmove(dst, src, n uint64) error {
+	if !s.Contains(src, n) {
+		return &FaultError{Addr: src, Kind: AccessRead, Len: n, Reason: "unmapped address"}
+	}
+	if !s.Contains(dst, n) {
+		return &FaultError{Addr: dst, Kind: AccessWrite, Len: n, Reason: "unmapped address"}
+	}
+	copy(s.data[dst-s.base:dst-s.base+n], s.data[src-s.base:src-s.base+n])
+	return nil
+}
+
+// View returns a borrowed slice aliasing [addr, addr+n) after a read
+// check. The slice shares the space's backing store: it lets callers
+// consume memory without the per-call allocation Read pays, but it must
+// not be written through, and it is invalidated by the next Sbrk (which
+// may move the backing array).
+func (s *Space) View(addr, n uint64) ([]byte, error) {
+	if err := s.check(addr, n, AccessRead); err != nil {
+		return nil, err
+	}
+	off := addr - s.base
+	return s.data[off : off+n : off+n], nil
+}
+
+// WritableView is View with a write check; the caller may write
+// through the returned slice. The same Sbrk invalidation applies.
+func (s *Space) WritableView(addr, n uint64) ([]byte, error) {
+	if err := s.check(addr, n, AccessWrite); err != nil {
+		return nil, err
+	}
+	off := addr - s.base
+	return s.data[off : off+n : off+n], nil
+}
+
+// RawView returns a borrowed slice ignoring page protection, for
+// subsystems (allocator metadata, shadow planes, the sealed patch
+// table) that implement their own access control. The same Sbrk
+// invalidation applies.
+func (s *Space) RawView(addr, n uint64) ([]byte, error) {
+	if !s.Contains(addr, n) {
+		return nil, &FaultError{Addr: addr, Kind: AccessRead, Len: n, Reason: "unmapped address"}
+	}
+	off := addr - s.base
+	return s.data[off : off+n : off+n], nil
 }
 
 // IsFault reports whether err is (or wraps) a *FaultError.

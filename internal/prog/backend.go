@@ -67,6 +67,16 @@ type HeapBackend interface {
 	Cycles() uint64
 }
 
+// BulkLoader is an optional HeapBackend extension: LoadInto reuses
+// dst's Bytes/Valid/Origin capacity instead of allocating fresh
+// buffers per load. The interpreter uses it with a scratch Value for
+// transient loads (output emission) so the steady-state memory-op path
+// allocates nothing; results that must outlive the call still go
+// through Load.
+type BulkLoader interface {
+	LoadInto(dst *Value, addr, n, ccid uint64) error
+}
+
 // NativeBackend runs programs directly against the raw allocator with
 // no interposition: the paper's uninstrumented native execution, the
 // baseline all overhead numbers normalize against.
@@ -76,7 +86,10 @@ type NativeBackend struct {
 	cycles uint64
 }
 
-var _ HeapBackend = (*NativeBackend)(nil)
+var (
+	_ HeapBackend = (*NativeBackend)(nil)
+	_ BulkLoader  = (*NativeBackend)(nil)
+)
 
 // NewNativeBackend creates a native backend over a fresh heap.
 func NewNativeBackend(space *mem.Space) (*NativeBackend, error) {
@@ -125,6 +138,24 @@ func (nb *NativeBackend) Load(addr, n, _ uint64) (Value, error) {
 		return Value{}, err
 	}
 	return Value{Bytes: b}, nil
+}
+
+// LoadInto implements BulkLoader, reusing dst's byte capacity.
+func (nb *NativeBackend) LoadInto(dst *Value, addr, n, _ uint64) error {
+	nb.cycles += CycMemOp + n/CycBytesPerCycle
+	dst.Bytes = growValueBytes(dst.Bytes, n)
+	dst.Valid = nil // native loads are always fully valid
+	dst.Origin = nil
+	return nb.space.ReadInto(addr, dst.Bytes)
+}
+
+// growValueBytes returns a length-n slice reusing b's capacity when
+// possible; contents are unspecified.
+func growValueBytes(b []byte, n uint64) []byte {
+	if uint64(cap(b)) >= n {
+		return b[:n]
+	}
+	return make([]byte, n)
 }
 
 // Store implements HeapBackend.

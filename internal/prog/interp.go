@@ -68,6 +68,7 @@ func (r *Result) Crashed() bool { return r.Fault != nil }
 type Interp struct {
 	p         *Program
 	backend   HeapBackend
+	bulk      BulkLoader // non-nil when backend supports LoadInto
 	coder     *encoding.Coder
 	maxSteps  uint64
 	maxDepth  int
@@ -87,6 +88,7 @@ type Interp struct {
 	depth      int
 	fault      error
 	globals    map[string]Value
+	scratch    Value // reusable buffer for transient loads (Output)
 
 	// Cooperative scheduling hooks for RunThreads: when yield is set,
 	// the interpreter calls it every yieldEvery statements.
@@ -127,6 +129,7 @@ func New(p *Program, cfg Config) (*Interp, error) {
 		maxSteps: cfg.MaxSteps,
 		maxDepth: cfg.MaxDepth,
 	}
+	it.bulk, _ = cfg.Backend.(BulkLoader)
 	if it.maxSteps == 0 {
 		it.maxSteps = DefaultMaxSteps
 	}
@@ -306,7 +309,9 @@ func (it *Interp) execBlock(body []Stmt, f *frame) (returned bool, ret Value, er
 					n = 8
 				}
 			}
-			if serr := it.backend.Store(addr, src.Slice(0, int(n)), it.v); serr != nil {
+			// View borrows src's buffers instead of copying them; the
+			// backend only reads the operand, so no allocation per store.
+			if serr := it.backend.Store(addr, src.View(0, int(n)), it.v); serr != nil {
 				return false, Value{}, it.crash(serr)
 			}
 
@@ -391,6 +396,17 @@ func (it *Interp) execBlock(body []Stmt, f *frame) (returned bool, ret Value, er
 			n, err := it.eval(st.N, f)
 			if err != nil {
 				return false, Value{}, err
+			}
+			// The loaded value only feeds the use check and the output
+			// buffer, so it can live in the reusable scratch Value when
+			// the backend supports buffer reuse.
+			if it.bulk != nil {
+				if lerr := it.bulk.LoadInto(&it.scratch, addr, n.Uint(), it.v); lerr != nil {
+					return false, Value{}, it.crash(lerr)
+				}
+				it.backend.CheckUse(it.scratch, UseOutput, it.v)
+				it.output = append(it.output, it.scratch.Bytes...)
+				break
 			}
 			v, lerr := it.backend.Load(addr, n.Uint(), it.v)
 			if lerr != nil {

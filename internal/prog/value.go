@@ -129,6 +129,39 @@ func (v Value) Slice(off, n int) Value {
 	return out
 }
 
+// View returns the value restricted to [off, off+n) without copying:
+// the result borrows v's backing arrays. Out-of-range portions are
+// dropped. Backends treat missing Valid/Origin entries as fully valid
+// with no origin, so truncated shadow slices preserve Slice's padding
+// semantics. Callers must not mutate the result or use it after
+// writing to v; the interpreter uses it to pass store operands to
+// backends without a per-store allocation.
+func (v Value) View(off, n int) Value {
+	if off < 0 || off >= len(v.Bytes) {
+		return Value{}
+	}
+	end := off + n
+	if end > len(v.Bytes) {
+		end = len(v.Bytes)
+	}
+	out := Value{Bytes: v.Bytes[off:end]}
+	if v.Valid != nil && off < len(v.Valid) {
+		ve := end
+		if ve > len(v.Valid) {
+			ve = len(v.Valid)
+		}
+		out.Valid = v.Valid[off:ve]
+	}
+	if v.Origin != nil && off < len(v.Origin) {
+		oe := end
+		if oe > len(v.Origin) {
+			oe = len(v.Origin)
+		}
+		out.Origin = v.Origin[off:oe]
+	}
+	return out
+}
+
 // Clone deep-copies the value.
 func (v Value) Clone() Value {
 	out := Value{Bytes: append([]byte(nil), v.Bytes...)}

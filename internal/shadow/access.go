@@ -6,28 +6,88 @@ import (
 	"heaptherapy/internal/prog"
 )
 
+// accessCost is the virtual-cycle charge for one n-byte shadowed
+// memory operation. All cycle accounting happens in the public entry
+// points; the kernels below are uncounted, so fast and slow paths —
+// and the refXxx predecessors — charge identically.
+func accessCost(n uint64) uint64 {
+	return (prog.CycMemOp + n/prog.CycBytesPerCycle) * shadowCostFactor
+}
+
 // Load implements prog.HeapBackend: it returns the data together with
 // its V-bit masks and origin tags, checking A-bits per byte. Access
 // violations are recorded and execution resumes with the raw bytes
 // (Valgrind's behaviour), so one run can expose multiple bugs.
 func (b *Backend) Load(addr, n, ccid uint64) (prog.Value, error) {
-	b.cycles += (prog.CycMemOp + n/prog.CycBytesPerCycle) * shadowCostFactor
-	if err := b.checkMapped(addr, n); err != nil {
+	var v prog.Value
+	if err := b.LoadInto(&v, addr, n, ccid); err != nil {
 		return prog.Value{}, err
 	}
-	data, err := b.space.RawRead(addr, n)
+	return v, nil
+}
+
+// LoadInto is the allocation-free variant of Load: it reuses dst's
+// Bytes/Valid/Origin capacity instead of allocating fresh planes per
+// call. It implements prog.BulkLoader.
+func (b *Backend) LoadInto(dst *prog.Value, addr, n, ccid uint64) error {
+	b.cycles += accessCost(n)
+	return b.loadInto(dst, addr, n, ccid)
+}
+
+// loadInto is the uncounted load kernel shared by Load and Memcpy.
+// The all-accessible common case bulk-copies the data, vmask, and
+// originT planes; any inaccessible byte in range falls back to the
+// precise per-byte reference path.
+func (b *Backend) loadInto(dst *prog.Value, addr, n, ccid uint64) error {
+	if b.forceRef {
+		return b.refLoadInto(dst, addr, n, ccid)
+	}
+	if err := b.checkMapped(addr, n); err != nil {
+		return err
+	}
+	dst.Bytes = growBytes(dst.Bytes, n)
+	dst.Valid = growBytes(dst.Valid, n)
+	dst.Origin = growU32(dst.Origin, n)
+	// The raw view doubles as the bounds check even for n == 0, matching
+	// the historical RawRead-based behaviour.
+	view, err := b.space.RawView(addr, n)
 	if err != nil {
-		return prog.Value{}, fmt.Errorf("shadow: raw read: %w", err)
+		return fmt.Errorf("shadow: raw read: %w", err)
 	}
-	v := prog.Value{
-		Bytes:  data,
-		Valid:  make([]byte, n),
-		Origin: make([]uint32, n),
+	if n == 0 {
+		return nil
 	}
+	if o, ok := b.planeRange(addr, n); ok && allTrue(b.access[o:o+n]) {
+		copy(dst.Bytes, view)
+		copy(dst.Valid, b.vmask[o:o+n])
+		copy(dst.Origin, b.originT[o:o+n])
+		return nil
+	}
+	return b.refLoadInto(dst, addr, n, ccid)
+}
+
+// refLoadInto is the naive per-byte predecessor of the load kernel.
+func (b *Backend) refLoadInto(dst *prog.Value, addr, n, ccid uint64) error {
+	if err := b.checkMapped(addr, n); err != nil {
+		return err
+	}
+	dst.Bytes = growBytes(dst.Bytes, n)
+	dst.Valid = growBytes(dst.Valid, n)
+	dst.Origin = growU32(dst.Origin, n)
+	view, err := b.space.RawView(addr, n)
+	if err != nil {
+		return fmt.Errorf("shadow: raw read: %w", err)
+	}
+	if n == 0 {
+		return nil
+	}
+	copy(dst.Bytes, view)
 	violated := false
 	for i := uint64(0); i < n; i++ {
 		o, ok := b.off(addr + i)
 		if !ok {
+			clear(dst.Valid[i:])
+			clear(dst.Origin[i:])
 			break
 		}
 		if !b.access[o] {
@@ -36,14 +96,14 @@ func (b *Backend) Load(addr, n, ccid uint64) (prog.Value, error) {
 				violated = true
 			}
 			// Data read from inaccessible memory is also invalid.
-			v.Valid[i] = 0
-			v.Origin[i] = b.originT[o]
+			dst.Valid[i] = 0
+			dst.Origin[i] = b.originT[o]
 			continue
 		}
-		v.Valid[i] = b.vmask[o]
-		v.Origin[i] = b.originT[o]
+		dst.Valid[i] = b.vmask[o]
+		dst.Origin[i] = b.originT[o]
 	}
-	return v, nil
+	return nil
 }
 
 // Store implements prog.HeapBackend: it writes data and propagates the
@@ -52,8 +112,49 @@ func (b *Backend) Load(addr, n, ccid uint64) (prog.Value, error) {
 // only inside red zones or freed buffers (regions this tool owns) and
 // dropped elsewhere to keep the analysis heap intact.
 func (b *Backend) Store(addr uint64, v prog.Value, ccid uint64) error {
+	b.cycles += accessCost(uint64(len(v.Bytes)))
+	return b.store(addr, v, ccid)
+}
+
+// store is the uncounted store kernel shared by Store, Memcpy, and
+// Memset.
+func (b *Backend) store(addr uint64, v prog.Value, ccid uint64) error {
+	if b.forceRef {
+		return b.refStore(addr, v, ccid)
+	}
 	n := uint64(len(v.Bytes))
-	b.cycles += (prog.CycMemOp + n/prog.CycBytesPerCycle) * shadowCostFactor
+	if err := b.checkMapped(addr, n); err != nil {
+		return err
+	}
+	if n == 0 {
+		return nil
+	}
+	if o, ok := b.planeRange(addr, n); ok && allTrue(b.access[o:o+n]) {
+		if err := b.space.RawWrite(addr, v.Bytes); err != nil {
+			return fmt.Errorf("shadow: raw write: %w", err)
+		}
+		vm := b.vmask[o : o+n]
+		if v.Valid == nil {
+			fill(vm, byte(0xFF))
+		} else {
+			m := copy(vm, v.Valid)
+			fill(vm[m:], byte(0xFF))
+		}
+		ot := b.originT[o : o+n]
+		if v.Origin == nil {
+			fill(ot, uint32(0))
+		} else {
+			m := copy(ot, v.Origin)
+			fill(ot[m:], uint32(0))
+		}
+		return nil
+	}
+	return b.refStore(addr, v, ccid)
+}
+
+// refStore is the naive per-byte predecessor of the store kernel.
+func (b *Backend) refStore(addr uint64, v prog.Value, ccid uint64) error {
+	n := uint64(len(v.Bytes))
 	if err := b.checkMapped(addr, n); err != nil {
 		return err
 	}
@@ -81,7 +182,7 @@ func (b *Backend) Store(addr uint64, v prog.Value, ccid uint64) error {
 			}
 			// Falls in a red zone or freed buffer: safe to land.
 		}
-		if err := b.space.RawWrite(addr+i, []byte{v.Bytes[i]}); err != nil {
+		if err := b.space.RawWriteByte(addr+i, v.Bytes[i]); err != nil {
 			return fmt.Errorf("shadow: raw write: %w", err)
 		}
 		if b.access[o] {
@@ -95,26 +196,86 @@ func (b *Backend) Store(addr uint64, v prog.Value, ccid uint64) error {
 // Memcpy implements prog.HeapBackend with byte-wise shadow propagation:
 // V-bits and origins travel with the data, which is what lets origin
 // tracking trace a leak at an output call back to the uninitialized
-// allocation it started from.
+// allocation it started from. When both ranges are fully accessible,
+// the data and both shadow planes move with three bulk copies; any
+// red-zone, freed, or unmapped byte falls back to the load-then-store
+// path through a reusable scratch value.
 func (b *Backend) Memcpy(dst, src, n, ccid uint64) error {
-	b.cycles += (prog.CycMemOp + n/prog.CycBytesPerCycle) * shadowCostFactor
-	v, err := b.Load(src, n, ccid)
-	if err != nil {
+	if b.forceRef {
+		return b.refMemcpy(dst, src, n, ccid)
+	}
+	// One load charge and one store charge, folded into a single
+	// charge site so the two halves cannot drift apart.
+	b.cycles += 2 * accessCost(n)
+	if n > 0 && b.space.Contains(src, n) && b.space.Contains(dst, n) {
+		so, sok := b.planeRange(src, n)
+		do, dok := b.planeRange(dst, n)
+		if sok && dok && allTrue(b.access[so:so+n]) && allTrue(b.access[do:do+n]) {
+			if err := b.space.RawMemmove(dst, src, n); err != nil {
+				return fmt.Errorf("shadow: raw copy: %w", err)
+			}
+			copy(b.vmask[do:do+n], b.vmask[so:so+n])
+			copy(b.originT[do:do+n], b.originT[so:so+n])
+			return nil
+		}
+	}
+	if err := b.loadInto(&b.cpScratch, src, n, ccid); err != nil {
 		return err
 	}
-	// Load already accounted cycles; compensate to avoid double cost.
-	b.cycles -= (prog.CycMemOp + n/prog.CycBytesPerCycle) * shadowCostFactor
-	return b.Store(dst, v, ccid)
+	return b.store(dst, b.cpScratch, ccid)
+}
+
+// refMemcpy is the naive predecessor of Memcpy, preserving its
+// historical cycle arithmetic (charge, re-charge on load, compensate,
+// charge on store — net two charges).
+func (b *Backend) refMemcpy(dst, src, n, ccid uint64) error {
+	b.cycles += accessCost(n)
+	b.cycles += accessCost(n) // what Load charged
+	var v prog.Value
+	if err := b.refLoadInto(&v, src, n, ccid); err != nil {
+		return err
+	}
+	b.cycles -= accessCost(n) // the historical compensation
+	b.cycles += accessCost(n) // what Store charged
+	return b.refStore(dst, v, ccid)
 }
 
 // Memset implements prog.HeapBackend; the filled range becomes fully
-// valid.
+// valid. The all-accessible case fills the data plane natively and the
+// shadow planes with bulk fills, never materializing an n-byte temp.
 func (b *Backend) Memset(addr uint64, c byte, n, ccid uint64) error {
+	if b.forceRef {
+		return b.refMemset(addr, c, n, ccid)
+	}
+	b.cycles += accessCost(n)
+	if err := b.checkMapped(addr, n); err != nil {
+		return err
+	}
+	if n == 0 {
+		return nil
+	}
+	if o, ok := b.planeRange(addr, n); ok && allTrue(b.access[o:o+n]) {
+		if err := b.space.RawMemset(addr, c, n); err != nil {
+			return fmt.Errorf("shadow: raw fill: %w", err)
+		}
+		fill(b.vmask[o:o+n], byte(0xFF))
+		fill(b.originT[o:o+n], uint32(0))
+		return nil
+	}
+	b.setScratch = growBytes(b.setScratch, n)
+	fill(b.setScratch, c)
+	return b.store(addr, prog.Value{Bytes: b.setScratch}, ccid)
+}
+
+// refMemset is the naive predecessor of Memset: materialize the fill
+// buffer, then store it (the store carries the cycle charge).
+func (b *Backend) refMemset(addr uint64, c byte, n, ccid uint64) error {
 	data := make([]byte, n)
 	for i := range data {
 		data[i] = c
 	}
-	return b.Store(addr, prog.Value{Bytes: data}, ccid)
+	b.cycles += accessCost(n)
+	return b.refStore(addr, prog.Value{Bytes: data}, ccid)
 }
 
 // CheckUse implements prog.HeapBackend: V-bits are checked only here —
@@ -145,4 +306,21 @@ func (b *Backend) checkMapped(addr, n uint64) error {
 		return b.space.CheckRead(addr, n)
 	}
 	return nil
+}
+
+// growBytes returns a length-n slice, reusing b's capacity when it
+// suffices. Contents are unspecified; callers overwrite every element.
+func growBytes(b []byte, n uint64) []byte {
+	if uint64(cap(b)) >= n {
+		return b[:n]
+	}
+	return make([]byte, n)
+}
+
+// growU32 is growBytes for origin-tag planes.
+func growU32(b []uint32, n uint64) []uint32 {
+	if uint64(cap(b)) >= n {
+		return b[:n]
+	}
+	return make([]uint32, n)
 }

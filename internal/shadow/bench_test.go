@@ -1,0 +1,112 @@
+package shadow
+
+import (
+	"testing"
+
+	"heaptherapy/internal/heapsim"
+	"heaptherapy/internal/mem"
+	"heaptherapy/internal/prog"
+)
+
+// benchBackend builds a backend with two disjoint buffers for copy
+// benchmarks.
+func benchBackend(b *testing.B, size uint64) (*Backend, uint64, uint64) {
+	b.Helper()
+	space, err := mem.NewSpace(mem.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sb, err := New(space, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, err := sb.Alloc(heapsim.FnMalloc, 1, 1, size, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst, err := sb.Alloc(heapsim.FnMalloc, 2, 1, size, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sb.Memset(src, 0xAB, size, 1); err != nil {
+		b.Fatal(err)
+	}
+	return sb, src, dst
+}
+
+// BenchmarkShadowMemcpy is the memcpy-heavy workload the word-parallel
+// kernels target: V-bits and origins travel with every byte.
+func BenchmarkShadowMemcpy(b *testing.B) {
+	for _, size := range []uint64{64, 1024, 16384} {
+		b.Run(sizeName(size), func(b *testing.B) {
+			sb, src, dst := benchBackend(b, size)
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sb.Memcpy(dst, src, size, 3); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkShadowStore(b *testing.B) {
+	const size = 1024
+	sb, _, dst := benchBackend(b, size)
+	v := prog.Value{Bytes: make([]byte, size)}
+	b.SetBytes(size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sb.Store(dst, v, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShadowLoad(b *testing.B) {
+	const size = 1024
+	sb, src, _ := benchBackend(b, size)
+	b.SetBytes(size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sb.Load(src, size, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShadowMemset(b *testing.B) {
+	const size = 1024
+	sb, _, dst := benchBackend(b, size)
+	b.SetBytes(size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sb.Memset(dst, 0x5A, size, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func sizeName(n uint64) string {
+	switch {
+	case n >= 1024:
+		return itoa(n/1024) + "KiB"
+	default:
+		return itoa(n) + "B"
+	}
+}
+
+func itoa(n uint64) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

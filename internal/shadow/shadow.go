@@ -105,9 +105,22 @@ type Backend struct {
 	warnSeen map[warnKey]bool
 
 	cycles uint64
+
+	// cpScratch and setScratch are reusable buffers for the Memcpy and
+	// Memset slow paths, so falling off the fast path costs a copy, not
+	// an allocation per call.
+	cpScratch  prog.Value
+	setScratch []byte
+
+	// forceRef routes every kernel through its naive refXxx
+	// predecessor; set only by the differential tests.
+	forceRef bool
 }
 
-var _ prog.HeapBackend = (*Backend)(nil)
+var (
+	_ prog.HeapBackend = (*Backend)(nil)
+	_ prog.BulkLoader  = (*Backend)(nil)
+)
 
 // warnKey dedupes chained warnings: once a buffer has warned for a
 // vulnerability type at a use kind, repeats are suppressed, mirroring
@@ -181,8 +194,48 @@ func (b *Backend) off(addr uint64) (uint64, bool) {
 	return o, true
 }
 
-// markRange sets A-bits, V-masks, and origins over [addr, addr+n).
+// planeRange grows the planes to cover [addr, addr+n) and returns the
+// plane offset of addr; n must be nonzero and the range in-space.
+func (b *Backend) planeRange(addr, n uint64) (uint64, bool) {
+	o, ok := b.off(addr)
+	if !ok {
+		return 0, false
+	}
+	if _, ok := b.off(addr + n - 1); !ok {
+		return 0, false
+	}
+	return o, true
+}
+
+// markRange sets A-bits, V-masks, and origins over [addr, addr+n),
+// clamped to the space, with bulk plane fills.
 func (b *Backend) markRange(addr, n uint64, accessible bool, vm byte, org uint32) {
+	if b.forceRef {
+		b.refMarkRange(addr, n, accessible, vm, org)
+		return
+	}
+	if n == 0 {
+		return
+	}
+	end := addr + n
+	if end < addr || end > b.space.End() {
+		end = b.space.End()
+	}
+	if addr >= end {
+		return
+	}
+	m := end - addr
+	o, ok := b.planeRange(addr, m)
+	if !ok {
+		return
+	}
+	fill(b.access[o:o+m], accessible)
+	fill(b.vmask[o:o+m], vm)
+	fill(b.originT[o:o+m], org)
+}
+
+// refMarkRange is the naive per-byte predecessor of markRange.
+func (b *Backend) refMarkRange(addr, n uint64, accessible bool, vm byte, org uint32) {
 	for i := uint64(0); i < n; i++ {
 		o, ok := b.off(addr + i)
 		if !ok {
@@ -192,6 +245,36 @@ func (b *Backend) markRange(addr, n uint64, accessible bool, vm byte, org uint32
 		b.vmask[o] = vm
 		b.originT[o] = org
 	}
+}
+
+// fill sets every element of dst to v at copy bandwidth: zero values
+// compile to a memclr, nonzero values seed one element and double with
+// copy.
+func fill[T bool | byte | uint32](dst []T, v T) {
+	var zero T
+	if v == zero {
+		clear(dst)
+		return
+	}
+	if len(dst) == 0 {
+		return
+	}
+	dst[0] = v
+	for filled := 1; filled < len(dst); filled *= 2 {
+		copy(dst[filled:], dst[:filled])
+	}
+}
+
+// allTrue reports whether every A-bit in the slice is set: the
+// fast-path predicate for "no red zone, freed block, or unmapped byte
+// in range".
+func allTrue(a []bool) bool {
+	for _, v := range a {
+		if !v {
+			return false
+		}
+	}
+	return true
 }
 
 // newOrigin allocates an origin tag.
