@@ -1,10 +1,11 @@
 GO ?= go
 PKGS := ./...
 # Packages with concurrent components (interpreter threads, defended
-# allocator under concurrency) that the race detector must cover.
-RACE_PKGS := ./internal/defense/ ./internal/prog/
+# allocator under concurrency, the parallel fleet runtime) that the
+# race detector must cover.
+RACE_PKGS := ./internal/defense/ ./internal/prog/ ./internal/fleet/
 
-.PHONY: all build test race vet fmt-check bench bench-json check
+.PHONY: all build test race vet fmt-check bench bench-json bench-fleet check
 
 all: check
 
@@ -35,5 +36,10 @@ bench:
 # Machine-readable end-to-end experiment timings (see BENCH_*.json).
 bench-json:
 	$(GO) run ./cmd/htp-bench -quick -json
+
+# Fleet runtime benchmarks: worker setup (fresh vs pooled) and
+# parallel serve throughput at 1/2/4/8 workers.
+bench-fleet:
+	$(GO) test -run '^$$' -bench 'BenchmarkFleet' -benchmem ./internal/fleet/
 
 check: build vet fmt-check test race

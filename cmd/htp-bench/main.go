@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	htp-bench [-exp all|encoding|table2|table3|table4|fig8|fig9|services|ablation|guard] [-quick] [-scale N]
+//	htp-bench [-exp all|encoding|table2|table3|table4|fig8|fig9|services|ablation|guard|fleet] [-quick] [-scale N]
 package main
 
 import (
@@ -28,7 +28,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("htp-bench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to run: all, encoding, table2, table3, table4, fig8, fig9, services, concurrent, ablation, stackoffset, scaling, guard")
+	exp := fs.String("exp", "all", "experiment to run: all, encoding, table2, table3, table4, fig8, fig9, services, concurrent, ablation, stackoffset, scaling, guard, fleet")
 	quick := fs.Bool("quick", false, "trim sweeps for a fast run")
 	scale := fs.Uint64("scale", 0, "divisor for Table IV allocation counts (default 10000)")
 	jsonOut := fs.Bool("json", false, "emit per-experiment wall time and allocations as JSON instead of rendered tables")
@@ -85,6 +85,9 @@ func run(args []string) error {
 		{"scaling", wrap(func(c experiments.Config) (interface{ Render() string }, error) {
 			return experiments.PatchScaling(c)
 		})},
+		{"fleet", wrap(func(c experiments.Config) (interface{ Render() string }, error) {
+			return experiments.Fleet(c)
+		})},
 		{"guard", func() (fmt.Stringer, error) {
 			global, targeted, err := experiments.GlobalGuardBaseline(cfg)
 			if err != nil {
@@ -138,6 +141,7 @@ func run(args []string) error {
 			GoVersion:   runtime.Version(),
 			GOOS:        runtime.GOOS,
 			GOARCH:      runtime.GOARCH,
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
 			Quick:       *quick,
 			Experiments: results,
 		})
@@ -152,6 +156,7 @@ type benchReport struct {
 	GoVersion   string        `json:"go_version"`
 	GOOS        string        `json:"goos"`
 	GOARCH      string        `json:"goarch"`
+	GOMAXPROCS  int           `json:"gomaxprocs"`
 	Quick       bool          `json:"quick"`
 	Experiments []benchResult `json:"experiments"`
 }

@@ -13,6 +13,15 @@ import (
 // ordinary loads and stores run against the protected address space,
 // where a guard-page hit faults exactly like SIGSEGV under the real
 // system.
+//
+// Concurrency contract (see Defender): Backend's cycle accumulator —
+// like every other piece of its state — is unsynchronized mutable
+// state, so a Backend must be owned by exactly one goroutine at a
+// time. Sharing a Backend between interpreter threads is fine only
+// under the cooperative single-OS-thread scheduler (prog.RunThreads);
+// true parallelism requires one Backend per goroutine, with an
+// immutable SealedTable as the only shared structure — the fleet
+// runtime's layout, locked in by TestSealedTableCrossWorkerRace.
 type Backend struct {
 	def    *Defender
 	space  *mem.Space
@@ -108,6 +117,15 @@ func (b *Backend) CheckUse(prog.Value, prog.UseKind, uint64) {}
 
 // Cycles implements prog.HeapBackend.
 func (b *Backend) Cycles() uint64 { return b.cycles + b.def.Cycles() }
+
+// Reset recycles the backend for a new execution after its space has
+// been Reset: cycle accounting is cleared and the Defender is reset
+// (see Defender.Reset for what that entails and for the caller's
+// obligations around custom allocators).
+func (b *Backend) Reset() error {
+	b.cycles = 0
+	return b.def.Reset()
+}
 
 // NewBackendWithAllocator builds a defended execution backend over a
 // caller-supplied underlying allocator (see NewWithAllocator).

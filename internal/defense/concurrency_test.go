@@ -1,6 +1,7 @@
 package defense
 
 import (
+	"sync"
 	"testing"
 
 	"heaptherapy/internal/analysis"
@@ -127,5 +128,91 @@ func TestDefenseUnderConcurrency(t *testing.T) {
 	}
 	if err := db.Defender().Heap().CheckIntegrity(); err != nil {
 		t.Fatalf("defended shared heap integrity: %v", err)
+	}
+}
+
+// TestSealedTableCrossWorkerRace locks in the fleet sharing model
+// under the race detector: N goroutines, each owning a private
+// mem.Space + Backend, all probing ONE SealedTable concurrently —
+// the one-backend-per-goroutine contract documented on Backend. Run
+// with -race, any write to the sealed table or accidental cross-worker
+// state would be reported.
+func TestSealedTableCrossWorkerRace(t *testing.T) {
+	p := mtProgram()
+	plan, err := encoding.NewPlan(encoding.SchemeIncremental, p.Graph(), p.Targets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coder, err := encoding.NewCoder(encoding.EncoderPCC, p.Graph(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &analysis.Analyzer{Coder: coder}
+	rep, err := a.Analyze(p, []byte{0xEE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Patches.Len() == 0 {
+		t.Fatal("no patches from attack replay")
+	}
+	table := SealTable(rep.Patches)
+
+	const workers = 8
+	const rounds = 16
+	var wg sync.WaitGroup
+	outputs := make([][]uint64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			space, err := mem.NewSpace(mem.Config{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			b, err := NewBackend(space, Config{SharedTable: table})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			it, err := prog.New(p, prog.Config{Backend: b, Coder: coder})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for r := 0; r < rounds; r++ {
+				// Odd workers replay the attack (patched context fires),
+				// even workers serve benign requests — both probe the
+				// shared table on every allocation.
+				in := []byte{0x00}
+				if w%2 == 1 {
+					in = []byte{0xEE}
+				}
+				res, err := it.Run(in)
+				if err != nil {
+					t.Errorf("worker %d round %d: %v", w, r, err)
+					return
+				}
+				if res.Crashed() {
+					t.Errorf("worker %d round %d crashed under defense: %v", w, r, res.Fault)
+					return
+				}
+				outputs[w] = append(outputs[w], (prog.Value{Bytes: res.Output}).Uint())
+				space.Reset()
+				if err := b.Reset(); err != nil {
+					t.Errorf("worker %d reset: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for w := 0; w < workers; w++ {
+		for r, got := range outputs[w] {
+			if got != 0x5AFE {
+				t.Errorf("worker %d round %d read %#x, want 0x5AFE", w, r, got)
+			}
+		}
 	}
 }

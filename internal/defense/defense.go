@@ -92,8 +92,16 @@ type Config struct {
 	// Mode selects interposition-only or full metadata+patch operation
 	// (default ModeFull).
 	Mode Mode
-	// Patches is the loaded configuration (nil = no patches).
+	// Patches is the loaded configuration (nil = no patches). Ignored
+	// when SharedTable is set.
 	Patches *patch.Set
+	// SharedTable, when non-nil, makes the Defender probe an immutable
+	// table shared with other Defenders (the fleet runtime's
+	// configuration) instead of materializing a private table in its
+	// own space. Shared lookups are lock-free and must be the ONLY
+	// cross-goroutine touch point between Defenders (see the Defender
+	// concurrency contract).
+	SharedTable *SealedTable
 	// QueueQuota bounds the deferred-free FIFO in bytes
 	// (0 = DefaultQueueQuota).
 	QueueQuota uint64
@@ -143,12 +151,25 @@ type queued struct {
 }
 
 // Defender is the online defense layer over an underlying allocator.
+//
+// Concurrency contract: a Defender (and the Backend wrapping it) owns
+// mutable state — Stats counters, the cycle accumulator, the deferred-
+// free queue, its space, and its allocator — with NO synchronization,
+// exactly as each simulated process owns its heap. One goroutine per
+// Defender, enforced by the race-detector regression tests. The only
+// state that may be shared between Defenders on different goroutines
+// is an immutable SealedTable (Config.SharedTable), whose lookups are
+// read-only. This is the sharing model of the paper's deployment: the
+// patch table is process-wide and read-only, everything else is
+// per-thread or protected by the allocator's own locks — which this
+// simulation replaces with strict per-worker ownership.
 type Defender struct {
-	under heapsim.Allocator
-	heap  *heapsim.Heap // set when the default allocator backs `under`
-	space *mem.Space
-	cfg   Config
-	table *patchTable // the read-only in-memory patch hash table
+	under  heapsim.Allocator
+	heap   *heapsim.Heap // set when the default allocator backs `under`
+	space  *mem.Space
+	cfg    Config
+	table  *patchTable  // private in-space table (nil when shared is set)
+	shared *SealedTable // immutable cross-worker table (fleet runtime)
 
 	queue      []queued
 	queueBytes uint64
@@ -172,16 +193,8 @@ func New(space *mem.Space, cfg Config) (*Defender, error) {
 		cfg.QueueQuota = DefaultQueueQuota
 	}
 	d := &Defender{space: space, cfg: cfg}
-	if cfg.Mode == ModeFull {
-		set := cfg.Patches
-		if set == nil {
-			set = patch.NewSet()
-		}
-		table, err := newPatchTable(space, set)
-		if err != nil {
-			return nil, err
-		}
-		d.table = table
+	if err := d.initTable(); err != nil {
+		return nil, err
 	}
 	h, err := heapsim.New(space)
 	if err != nil {
@@ -190,6 +203,30 @@ func New(space *mem.Space, cfg Config) (*Defender, error) {
 	d.heap = h
 	d.under = h
 	return d, nil
+}
+
+// initTable installs the patch table per the configuration: the shared
+// immutable table when provided (no space mapping at all), otherwise a
+// private table materialized and sealed read-only in the Defender's
+// own space.
+func (d *Defender) initTable() error {
+	if d.cfg.Mode != ModeFull {
+		return nil
+	}
+	if d.cfg.SharedTable != nil {
+		d.shared = d.cfg.SharedTable
+		return nil
+	}
+	set := d.cfg.Patches
+	if set == nil {
+		set = patch.NewSet()
+	}
+	table, err := newPatchTable(d.space, set)
+	if err != nil {
+		return err
+	}
+	d.table = table
+	return nil
 }
 
 // NewWithAllocator creates a defense layer over a caller-supplied
@@ -205,16 +242,8 @@ func NewWithAllocator(space *mem.Space, under heapsim.Allocator, cfg Config) (*D
 		cfg.QueueQuota = DefaultQueueQuota
 	}
 	d := &Defender{space: space, cfg: cfg, under: under}
-	if cfg.Mode == ModeFull {
-		set := cfg.Patches
-		if set == nil {
-			set = patch.NewSet()
-		}
-		table, err := newPatchTable(space, set)
-		if err != nil {
-			return nil, err
-		}
-		d.table = table
+	if err := d.initTable(); err != nil {
+		return nil, err
 	}
 	return d, nil
 }
@@ -300,7 +329,16 @@ func (d *Defender) allocate(fn heapsim.AllocFn, ccid, size, align uint64, isReal
 		lookupFn = heapsim.FnRealloc
 	}
 	d.stats.Lookups++
-	types, probes, lerr := d.table.lookup(patch.Key{Fn: lookupFn, CCID: ccid})
+	var (
+		types  patch.TypeMask
+		probes int
+		lerr   error
+	)
+	if d.shared != nil {
+		types, probes = d.shared.Lookup(patch.Key{Fn: lookupFn, CCID: ccid})
+	} else {
+		types, probes, lerr = d.table.lookup(patch.Key{Fn: lookupFn, CCID: ccid})
+	}
 	d.cycles += cycLookup * uint64(probes)
 	if lerr != nil {
 		// A faulting table read means the defense configuration is gone
@@ -629,6 +667,33 @@ func (d *Defender) UsableSize(user uint64) (uint64, error) {
 
 // Cycles returns accumulated virtual-cycle cost of defense work.
 func (d *Defender) Cycles() uint64 { return d.cycles }
+
+// Reset returns the Defender to its freshly constructed state over a
+// space that has itself just been Reset: statistics, cycle accounting,
+// and the deferred-free queue are cleared (reusing the queue's
+// capacity), the patch table is re-established, and the default heap
+// (if this Defender owns one) is re-initialized. With a shared sealed
+// table the table step is free — nothing is re-materialized — which is
+// what makes a fleet worker's recycle O(touched state) instead of
+// O(configuration). A Defender built over a caller-supplied allocator
+// (NewWithAllocator) does not reset that allocator; the caller must,
+// after this returns (construction order: table pages map below the
+// allocator's memory, and Reset preserves it).
+func (d *Defender) Reset() error {
+	d.queue = d.queue[:0]
+	d.queueBytes = 0
+	d.stats = Stats{}
+	d.cycles = 0
+	if err := d.initTable(); err != nil {
+		return fmt.Errorf("defense: reset: %w", err)
+	}
+	if d.heap != nil {
+		if err := d.heap.Reset(); err != nil {
+			return fmt.Errorf("defense: reset: %w", err)
+		}
+	}
+	return nil
+}
 
 // lg returns floor(log2(x)) for x > 0.
 func lg(x uint64) uint64 {

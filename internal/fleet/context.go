@@ -1,0 +1,121 @@
+package fleet
+
+import (
+	"fmt"
+
+	"heaptherapy/internal/defense"
+	"heaptherapy/internal/heapsim"
+	"heaptherapy/internal/mem"
+	"heaptherapy/internal/prog"
+)
+
+// resettableBackend is what a worker needs from its execution
+// substrate: the interpreter-facing backend interface plus in-place
+// recycling. Both prog.NativeBackend and defense.Backend satisfy it.
+type resettableBackend interface {
+	prog.HeapBackend
+	Reset() error
+}
+
+// Context is one worker's private execution state: an address space,
+// an allocator, and (when defended) a defense layer over the fleet's
+// shared table. A Context is owned by exactly one goroutine between
+// Acquire and Release; nothing in it is synchronized.
+type Context struct {
+	space    *mem.Space
+	backend  resettableBackend
+	defender *defense.Defender      // nil for native contexts
+	pool     *heapsim.PoolAllocator // non-nil only for AllocPool
+}
+
+// Space returns the context's private address space.
+func (c *Context) Space() *mem.Space { return c.space }
+
+// Backend returns the context's execution backend for building an
+// interpreter.
+func (c *Context) Backend() prog.HeapBackend { return c.backend }
+
+// Defender returns the context's defense layer, nil for a native
+// context.
+func (c *Context) Defender() *defense.Defender { return c.defender }
+
+// Reset recycles the context to its post-construction state. The
+// order is load-bearing: the space rewinds first (zeroing only dirty
+// pages and returning the break to the initial reserve), then the
+// backend rebuilds over the clean space, then a custom allocator
+// re-zeroes its own bookkeeping. After one warm cycle this path
+// performs no Go allocations, which is what makes pooled reuse cheap.
+func (c *Context) Reset() error {
+	c.space.Reset()
+	if err := c.backend.Reset(); err != nil {
+		return err
+	}
+	if c.pool != nil {
+		c.pool.Reset()
+	}
+	return nil
+}
+
+// Acquire returns a ready-to-use worker context: a pooled one when
+// available (already Reset), a freshly built one otherwise.
+func (f *Fleet) Acquire() (*Context, error) {
+	if c, ok := f.ctxPool.Get().(*Context); ok {
+		return c, nil
+	}
+	return f.newContext()
+}
+
+// Release returns a context to the pool for reuse. The context must
+// be Reset (Serve's request loop leaves it so); a dirty context would
+// leak one request's heap state into another tenant's execution.
+func (f *Fleet) Release(c *Context) {
+	f.ctxPool.Put(c)
+}
+
+// newContext builds a worker context from scratch — the expensive
+// path the pool exists to avoid.
+func (f *Fleet) newContext() (*Context, error) {
+	space, err := mem.NewSpace(f.cfg.Space)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: worker space: %w", err)
+	}
+	c := &Context{space: space}
+	if !f.cfg.Defended {
+		nb, err := prog.NewNativeBackend(space)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: native backend: %w", err)
+		}
+		c.backend = nb
+		f.contextsBuilt.Add(1)
+		return c, nil
+	}
+
+	dcfg := defense.Config{
+		Mode:        f.cfg.Mode,
+		SharedTable: f.table,
+		QueueQuota:  f.cfg.QueueQuota,
+	}
+	switch f.cfg.Alloc {
+	case AllocPool:
+		pool, err := heapsim.NewPool(space)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: pool allocator: %w", err)
+		}
+		b, err := defense.NewBackendWithAllocator(space, pool, dcfg)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: defended backend: %w", err)
+		}
+		c.pool = pool
+		c.backend = b
+		c.defender = b.Defender()
+	default:
+		b, err := defense.NewBackend(space, dcfg)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: defended backend: %w", err)
+		}
+		c.backend = b
+		c.defender = b.Defender()
+	}
+	f.contextsBuilt.Add(1)
+	return c, nil
+}

@@ -1,0 +1,267 @@
+// Package fleet is the parallel serving runtime: M independent
+// defended tenants — one mem.Space, one allocator, one defense layer
+// each — executing across real goroutines, all probing ONE immutable
+// sealed patch table. This is the paper's deployment shape scaled out:
+// a fleet of defended server processes on a multi-core host share the
+// read-only patch configuration (one mapping, many readers) while
+// every mutable structure (heap arena, metadata words, deferred-free
+// queue, statistics) stays strictly process-private. Here goroutines
+// stand in for processes, the SealedTable for the shared read-only
+// mapping, and Go immutability for page protection.
+//
+// Worker contexts are expensive to build (a space reservation, an
+// allocator, a defense layer) and cheap to recycle (Reset costs are
+// proportional to pages touched, not address-space size), so the fleet
+// pools them through sync.Pool: steady-state request handling builds
+// nothing and the per-request setup cost is a Reset, not a
+// construction.
+//
+// Concurrency model — the invariant everything here rests on:
+//
+//   - shared and immutable: the SealedTable, the Program, the Coder.
+//   - worker-private and mutable: everything else, owned by exactly
+//     one goroutine (the Backend contract in package defense).
+//   - fleet-level statistics: merged with atomics only.
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"heaptherapy/internal/defense"
+	"heaptherapy/internal/encoding"
+	"heaptherapy/internal/mem"
+	"heaptherapy/internal/patch"
+	"heaptherapy/internal/prog"
+)
+
+// AllocKind selects the allocator beneath each worker's defense layer.
+type AllocKind uint8
+
+// Allocator kinds.
+const (
+	// AllocBoundaryTag uses the dlmalloc-style boundary-tag heap.
+	AllocBoundaryTag AllocKind = iota
+	// AllocPool uses the slab-style segregated pool allocator.
+	AllocPool
+)
+
+func (k AllocKind) String() string {
+	switch k {
+	case AllocBoundaryTag:
+		return "boundary-tag"
+	case AllocPool:
+		return "pool"
+	default:
+		return fmt.Sprintf("AllocKind(%d)", uint8(k))
+	}
+}
+
+// Config configures a Fleet.
+type Config struct {
+	// Workers is the number of parallel worker goroutines Serve uses
+	// (0 = runtime.GOMAXPROCS(0)).
+	Workers int
+	// Defended selects defended execution; false runs the native
+	// (uninstrumented) backend for baseline measurement.
+	Defended bool
+	// Patches is sealed once at New into the table every defended
+	// worker shares. Ignored when Defended is false.
+	Patches *patch.Set
+	// Alloc selects the underlying allocator for defended workers
+	// (native workers always use the boundary-tag heap).
+	Alloc AllocKind
+	// Space configures each worker's private address space.
+	Space mem.Config
+	// Mode is the defense mode (default defense.ModeFull).
+	Mode defense.Mode
+	// QueueQuota bounds each worker's deferred-free FIFO
+	// (0 = defense.DefaultQueueQuota).
+	QueueQuota uint64
+}
+
+// Stats is a snapshot of fleet-wide activity: request accounting plus
+// the sum of every worker's defense counters, merged atomically as
+// each request completes. Defense.QueueBytes is a gauge, not a
+// counter, and worker recycling empties the queue — so it is omitted
+// from the merged Defense stats (always zero there).
+type Stats struct {
+	// Requests is the number of requests served.
+	Requests uint64
+	// Crashes is the number of requests that ended in a fault.
+	Crashes uint64
+	// ContextsBuilt counts full worker-context constructions (pool
+	// misses); the pooling win is Requests >> ContextsBuilt.
+	ContextsBuilt uint64
+	// Resets counts context recycles.
+	Resets uint64
+	// Defense is the sum of all workers' defense counters.
+	Defense defense.Stats
+}
+
+// Fleet is the parallel serving runtime. Construct with New; a Fleet
+// is safe for concurrent use (Serve may itself be called from
+// multiple goroutines — workers never share contexts).
+type Fleet struct {
+	cfg   Config
+	table *defense.SealedTable // nil when !cfg.Defended
+
+	ctxPool sync.Pool // *Context
+
+	requests      atomic.Uint64
+	crashes       atomic.Uint64
+	contextsBuilt atomic.Uint64
+	resets        atomic.Uint64
+
+	// Merged defense counters (see Stats.Defense).
+	dAllocs        atomic.Uint64
+	dLookups       atomic.Uint64
+	dLookupFaults  atomic.Uint64
+	dPatchedAllocs atomic.Uint64
+	dGuardPages    atomic.Uint64
+	dZeroFills     atomic.Uint64
+	dDeferredFrees atomic.Uint64
+	dEvictions     atomic.Uint64
+	dFrees         atomic.Uint64
+}
+
+// New builds a fleet, sealing the patch set into the shared table
+// exactly once.
+func New(cfg Config) *Fleet {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	f := &Fleet{cfg: cfg}
+	if cfg.Defended {
+		f.table = defense.SealTable(cfg.Patches)
+	}
+	return f
+}
+
+// Workers returns the configured worker count.
+func (f *Fleet) Workers() int { return f.cfg.Workers }
+
+// Table returns the shared sealed patch table (nil for a native
+// fleet).
+func (f *Fleet) Table() *defense.SealedTable { return f.table }
+
+// Stats returns a consistent-enough snapshot of fleet statistics:
+// each counter is read atomically; the set is not a single atomic
+// snapshot (call after Serve returns for exact totals).
+func (f *Fleet) Stats() Stats {
+	return Stats{
+		Requests:      f.requests.Load(),
+		Crashes:       f.crashes.Load(),
+		ContextsBuilt: f.contextsBuilt.Load(),
+		Resets:        f.resets.Load(),
+		Defense: defense.Stats{
+			Allocs:         f.dAllocs.Load(),
+			Lookups:        f.dLookups.Load(),
+			LookupFaults:   f.dLookupFaults.Load(),
+			PatchedAllocs:  f.dPatchedAllocs.Load(),
+			GuardPages:     f.dGuardPages.Load(),
+			ZeroFills:      f.dZeroFills.Load(),
+			DeferredFrees:  f.dDeferredFrees.Load(),
+			QueueEvictions: f.dEvictions.Load(),
+			Frees:          f.dFrees.Load(),
+		},
+	}
+}
+
+// merge folds one request's defense-counter delta into the fleet
+// totals. The delta is simply the worker's stats since its last Reset
+// (Reset zeroes them), so no subtraction bookkeeping is needed.
+func (f *Fleet) merge(s defense.Stats) {
+	f.dAllocs.Add(s.Allocs)
+	f.dLookups.Add(s.Lookups)
+	f.dLookupFaults.Add(s.LookupFaults)
+	f.dPatchedAllocs.Add(s.PatchedAllocs)
+	f.dGuardPages.Add(s.GuardPages)
+	f.dZeroFills.Add(s.ZeroFills)
+	f.dDeferredFrees.Add(s.DeferredFrees)
+	f.dEvictions.Add(s.QueueEvictions)
+	f.dFrees.Add(s.Frees)
+}
+
+// Serve executes one run of p per input across the fleet's workers
+// and returns the i-th result in the i-th slot. Work is distributed
+// dynamically (an atomic next-index), so slow requests don't stall a
+// fixed shard. A request that faults is a normal outcome — its
+// Result.Fault is set, the worker recycles its context, and serving
+// continues (crash isolation: one tenant's SIGSEGV never touches
+// another's heap). Only infrastructure errors (context construction,
+// interpreter setup, a failed recycle) abort the run.
+//
+// coder may be nil to run without calling-context encoding.
+func (f *Fleet) Serve(p *prog.Program, coder *encoding.Coder, inputs [][]byte) ([]*prog.Result, error) {
+	n := len(inputs)
+	if n == 0 {
+		return nil, fmt.Errorf("fleet: Serve with no inputs")
+	}
+	workers := f.cfg.Workers
+	if workers > n {
+		workers = n
+	}
+
+	results := make([]*prog.Result, n)
+	errs := make([]error, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = f.serveWorker(p, coder, inputs, results, &next)
+		}(w)
+	}
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// serveWorker is one worker goroutine's request loop over its private
+// context.
+func (f *Fleet) serveWorker(p *prog.Program, coder *encoding.Coder, inputs [][]byte, results []*prog.Result, next *atomic.Int64) error {
+	ctx, err := f.Acquire()
+	if err != nil {
+		return err
+	}
+	it, err := prog.New(p, prog.Config{Backend: ctx.backend, Coder: coder})
+	if err != nil {
+		f.Release(ctx)
+		return fmt.Errorf("fleet: interpreter: %w", err)
+	}
+	for {
+		i := int(next.Add(1)) - 1
+		if i >= len(inputs) {
+			break
+		}
+		res, err := it.Run(inputs[i])
+		if err != nil {
+			return fmt.Errorf("fleet: request %d: %w", i, err)
+		}
+		results[i] = res
+		f.requests.Add(1)
+		if res.Crashed() {
+			f.crashes.Add(1)
+		}
+		if ctx.defender != nil {
+			f.merge(ctx.defender.Stats())
+		}
+		// Recycle for the next request (and for Release below): even a
+		// faulted request leaves the context fully reusable.
+		if err := ctx.Reset(); err != nil {
+			return fmt.Errorf("fleet: recycling context: %w", err)
+		}
+		f.resets.Add(1)
+	}
+	f.Release(ctx)
+	return nil
+}

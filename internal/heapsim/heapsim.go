@@ -206,6 +206,27 @@ func New(space *mem.Space) (*Heap, error) {
 // Space returns the address space backing this heap.
 func (h *Heap) Space() *mem.Space { return h.space }
 
+// Reset re-initializes the heap over its space after the space itself
+// has been Reset (or is otherwise back at the break where this heap's
+// arena began): the arena page is re-reserved and all allocator state
+// — bins, live table, statistics — is cleared. The live map's buckets
+// are reused, so a steady-state reset allocates nothing. Pointers from
+// before the Reset are invalid.
+func (h *Heap) Reset() error {
+	start, err := h.space.Sbrk(mem.PageSize)
+	if err != nil {
+		return fmt.Errorf("heapsim: re-reserving arena: %w", err)
+	}
+	h.arenaStart = start
+	h.top = start + headerSize
+	h.arenaEnd = start + mem.PageSize
+	h.smallBins = [numSmallBins]uint64{}
+	h.largeBins = [numLargeBins]uint64{}
+	clear(h.live)
+	h.stats = Stats{ArenaBytes: mem.PageSize}
+	return nil
+}
+
 // Stats returns a snapshot of allocator statistics.
 func (h *Heap) Stats() Stats { return h.stats }
 

@@ -53,6 +53,19 @@ func NewPool(space *mem.Space) (*PoolAllocator, error) {
 // Space returns the backing address space.
 func (p *PoolAllocator) Space() *mem.Space { return p.space }
 
+// Reset clears all pool state after the backing space has been Reset:
+// every carved run is gone with the space, so the free lists are
+// emptied (keeping their capacity) and the live table and statistics
+// are cleared. Like Heap.Reset, the steady-state path allocates
+// nothing.
+func (p *PoolAllocator) Reset() {
+	for i := range p.freeLists {
+		p.freeLists[i] = p.freeLists[i][:0]
+	}
+	clear(p.live)
+	p.stats = Stats{}
+}
+
 // Stats returns a snapshot of allocator statistics.
 func (p *PoolAllocator) Stats() Stats { return p.stats }
 

@@ -14,6 +14,7 @@ package mem
 import (
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 )
 
 // PageSize is the size of a virtual page in bytes. It matches the 4 KiB
@@ -106,10 +107,18 @@ func (e *FaultError) Error() string {
 // Space is not safe for concurrent use; the interpreter in package prog
 // is single-threaded per space, matching the paper's per-process view.
 type Space struct {
-	base  uint64
-	data  []byte
-	prot  []Prot // one entry per page, indexed from base
-	limit uint64 // maximum mapped size in bytes
+	base    uint64
+	data    []byte
+	prot    []Prot // one entry per page, indexed from base
+	limit   uint64 // maximum mapped size in bytes
+	reserve uint64 // initial mapped size; Reset returns the break here
+
+	// dirty has one bit per mapped page, set on every store and
+	// protection change. Reset zeroes exactly the dirty pages, so the
+	// cost of recycling a space is proportional to what an execution
+	// actually touched, not to the address-space size. Loads never
+	// dirty a page.
+	dirty []uint64
 
 	faults uint64 // count of faults reported, for diagnostics
 }
@@ -161,10 +170,12 @@ func NewSpace(cfg Config) (*Space, error) {
 		return nil, fmt.Errorf("mem: reserve %d exceeds limit %d", reserve, cfg.limit())
 	}
 	s := &Space{
-		base:  cfg.Base,
-		data:  make([]byte, reserve),
-		prot:  make([]Prot, reserve/PageSize),
-		limit: cfg.limit(),
+		base:    cfg.Base,
+		data:    make([]byte, reserve),
+		prot:    make([]Prot, reserve/PageSize),
+		limit:   cfg.limit(),
+		reserve: reserve,
+		dirty:   make([]uint64, (reserve/PageSize+63)/64),
 	}
 	for i := range s.prot {
 		s.prot[i] = ProtRW
@@ -186,22 +197,100 @@ func (s *Space) Faults() uint64 { return s.faults }
 
 // Sbrk grows the mapped region by n bytes (rounded up to a page) and
 // returns the previous break address, which is the start of the newly
-// mapped region. New pages are ProtRW and zero filled.
+// mapped region. New pages are ProtRW and zero filled. After a Reset,
+// regrowth reuses the retained backing capacity (re-zeroing it in
+// place) so the steady-state recycle path allocates nothing.
 func (s *Space) Sbrk(n uint64) (uint64, error) {
 	grow := roundUpPage(n)
 	old := s.End()
-	if uint64(len(s.data))+grow > s.limitBytes() {
+	newLen := uint64(len(s.data)) + grow
+	if newLen > s.limitBytes() {
 		return 0, fmt.Errorf("mem: sbrk(%d) exceeds segment limit %d", n, s.limitBytes())
 	}
-	s.data = append(s.data, make([]byte, grow)...)
+	if uint64(cap(s.data)) >= newLen {
+		prev := len(s.data)
+		s.data = s.data[:newLen]
+		clear(s.data[prev:]) // stale bytes from before a Reset
+	} else {
+		s.data = append(s.data, make([]byte, grow)...)
+	}
 	for i := uint64(0); i < grow/PageSize; i++ {
 		s.prot = append(s.prot, ProtRW)
+	}
+	for uint64(len(s.dirty))*64 < uint64(len(s.prot)) {
+		s.dirty = append(s.dirty, 0)
 	}
 	return old, nil
 }
 
 // limitBytes returns the maximum mapped size, from Config.Limit.
 func (s *Space) limitBytes() uint64 { return s.limit }
+
+// markDirty records that the pages overlapping [addr, addr+n) were
+// mutated. Callers must have validated the range (it is invoked only
+// after a successful check or Contains). The common small store dirties
+// one page with a single OR, so the hot store path pays almost nothing
+// for resettability.
+func (s *Space) markDirty(addr, n uint64) {
+	if n == 0 {
+		return
+	}
+	first := (addr - s.base) >> PageShift
+	last := (addr + n - 1 - s.base) >> PageShift
+	for p := first; p <= last; p++ {
+		s.dirty[p>>6] |= 1 << (p & 63)
+	}
+}
+
+// DirtyPages counts pages currently marked dirty (mutated since
+// construction or the last Reset). Exposed for tests and for the fleet
+// runtime's recycling diagnostics.
+func (s *Space) DirtyPages() int {
+	n := 0
+	for _, w := range s.dirty {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Reset returns the space to its post-construction state: the break
+// back at the initial reserve, every retained page zero filled and
+// ProtRW, and the fault count cleared. Only pages marked dirty are
+// touched, so the cost is proportional to what the previous execution
+// mutated — a worker context serving small requests recycles in
+// microseconds regardless of the space's configured size. Memory
+// mapped beyond the initial reserve is logically unmapped; its backing
+// capacity is retained and re-zeroed in place by the next Sbrk, which
+// keeps the recycle-then-regrow path allocation-free. Borrowed views
+// (View/WritableView/RawView) taken before a Reset must not be used
+// afterwards.
+func (s *Space) Reset() {
+	resPages := s.reserve / PageSize
+	for w, word := range s.dirty {
+		if word == 0 {
+			continue
+		}
+		s.dirty[w] = 0
+		pageBase := uint64(w) * 64
+		for word != 0 {
+			p := pageBase + uint64(bits.TrailingZeros64(word))
+			word &= word - 1
+			if p < resPages {
+				off := p * PageSize
+				clear(s.data[off : off+PageSize])
+				s.prot[p] = ProtRW
+			}
+			// Pages beyond the reserve are dropped below; Sbrk re-zeroes
+			// their capacity if the region is ever remapped.
+		}
+	}
+	s.data = s.data[:s.reserve]
+	s.prot = s.prot[:resPages]
+	if words := int((resPages + 63) / 64); len(s.dirty) > words {
+		s.dirty = s.dirty[:words]
+	}
+	s.faults = 0
+}
 
 // Contains reports whether the address range [addr, addr+n) is mapped.
 func (s *Space) Contains(addr, n uint64) bool {
@@ -229,6 +318,9 @@ func (s *Space) Mprotect(addr, n uint64, p Prot) error {
 	for i := uint64(0); i < n/PageSize; i++ {
 		s.prot[first+i] = p
 	}
+	// Protection is part of resettable state: a page whose protection
+	// changed must be restored to ProtRW on Reset.
+	s.markDirty(addr, n)
 	return nil
 }
 
@@ -341,6 +433,7 @@ func (s *Space) Write(addr uint64, src []byte) error {
 	if err := s.check(addr, n, AccessWrite); err != nil {
 		return err
 	}
+	s.markDirty(addr, n)
 	copy(s.data[addr-s.base:], src)
 	return nil
 }
@@ -350,6 +443,7 @@ func (s *Space) Memset(addr uint64, b byte, n uint64) error {
 	if err := s.check(addr, n, AccessWrite); err != nil {
 		return err
 	}
+	s.markDirty(addr, n)
 	fillBytes(s.data[addr-s.base:addr-s.base+n], b)
 	return nil
 }
@@ -386,6 +480,7 @@ func (s *Space) Memmove(dst, src, n uint64) error {
 	if err := s.check(dst, n, AccessWrite); err != nil {
 		return err
 	}
+	s.markDirty(dst, n)
 	copy(s.data[dst-s.base:dst-s.base+n], s.data[src-s.base:src-s.base+n])
 	return nil
 }
@@ -425,12 +520,14 @@ func (s *Space) Store64(addr, v uint64) error {
 }
 
 func (s *Space) store64(addr, v uint64) {
+	s.markDirty(addr, 8)
 	off := addr - s.base
 	binary.LittleEndian.PutUint64(s.data[off:off+8], v)
 }
 
 // refStore64 is the naive predecessor of store64 (differential tests).
 func (s *Space) refStore64(addr, v uint64) {
+	s.markDirty(addr, 8)
 	off := addr - s.base
 	for i := uint64(0); i < 8; i++ {
 		s.data[off+i] = byte(v >> (8 * i))
@@ -472,6 +569,7 @@ func (s *Space) RawWrite(addr uint64, src []byte) error {
 	if !s.Contains(addr, n) {
 		return &FaultError{Addr: addr, Kind: AccessWrite, Len: n, Reason: "unmapped address"}
 	}
+	s.markDirty(addr, n)
 	copy(s.data[addr-s.base:], src)
 	return nil
 }
@@ -481,6 +579,7 @@ func (s *Space) RawMemset(addr uint64, b byte, n uint64) error {
 	if !s.Contains(addr, n) {
 		return &FaultError{Addr: addr, Kind: AccessWrite, Len: n, Reason: "unmapped address"}
 	}
+	s.markDirty(addr, n)
 	fillBytes(s.data[addr-s.base:addr-s.base+n], b)
 	return nil
 }
@@ -492,6 +591,7 @@ func (s *Space) RawWriteByte(addr uint64, v byte) error {
 	if !s.Contains(addr, 1) {
 		return &FaultError{Addr: addr, Kind: AccessWrite, Len: 1, Reason: "unmapped address"}
 	}
+	s.dirty[(addr-s.base)>>(PageShift+6)] |= 1 << (((addr - s.base) >> PageShift) & 63)
 	s.data[addr-s.base] = v
 	return nil
 }
@@ -505,6 +605,7 @@ func (s *Space) RawMemmove(dst, src, n uint64) error {
 	if !s.Contains(dst, n) {
 		return &FaultError{Addr: dst, Kind: AccessWrite, Len: n, Reason: "unmapped address"}
 	}
+	s.markDirty(dst, n)
 	copy(s.data[dst-s.base:dst-s.base+n], s.data[src-s.base:src-s.base+n])
 	return nil
 }
@@ -528,6 +629,7 @@ func (s *Space) WritableView(addr, n uint64) ([]byte, error) {
 	if err := s.check(addr, n, AccessWrite); err != nil {
 		return nil, err
 	}
+	s.markDirty(addr, n) // the caller may write anywhere in the view
 	off := addr - s.base
 	return s.data[off : off+n : off+n], nil
 }

@@ -179,5 +179,13 @@ func (nb *NativeBackend) Memset(addr uint64, b byte, n, _ uint64) error {
 // CheckUse implements HeapBackend: native execution checks nothing.
 func (nb *NativeBackend) CheckUse(Value, UseKind, uint64) {}
 
+// Reset recycles the backend for a new execution after its space has
+// been Reset: cycle accounting is cleared and the heap re-reserves its
+// arena, so a recycled backend behaves bit-identically to a fresh one.
+func (nb *NativeBackend) Reset() error {
+	nb.cycles = 0
+	return nb.heap.Reset()
+}
+
 // Cycles implements HeapBackend.
 func (nb *NativeBackend) Cycles() uint64 { return nb.cycles }

@@ -41,21 +41,29 @@ func RunThreads(p *Program, cfg Config, inputs [][]byte, quantum uint64) ([]*Res
 	finals := make([]outcome, n)
 	finished := make(chan int)
 
+	// Construct every interpreter before spawning any goroutine: if a
+	// construction fails mid-loop, no thread goroutine exists yet to be
+	// left blocked on a grant that will never come.
+	interps := make([]*Interp, n)
 	for i := 0; i < n; i++ {
-		grants[i] = make(chan struct{})
 		it, err := New(p, cfg)
 		if err != nil {
 			return nil, err
 		}
+		grants[i] = make(chan struct{})
 		i := i
 		it.yieldEvery = quantum
 		it.yield = func() {
 			events <- i
 			<-grants[i]
 		}
+		interps[i] = it
+	}
+	for i := 0; i < n; i++ {
+		i := i
 		go func() {
 			<-grants[i] // wait for the first grant
-			res, err := it.Run(inputs[i])
+			res, err := interps[i].Run(inputs[i])
 			finals[i] = outcome{res: res, err: err}
 			finished <- i
 		}()

@@ -1,7 +1,9 @@
 package prog
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	"heaptherapy/internal/encoding"
 	"heaptherapy/internal/mem"
@@ -160,6 +162,106 @@ func TestRunThreadsSingleThread(t *testing.T) {
 	}
 	if string(results[0].Output) != string(plain.Output) || results[0].Steps != plain.Steps {
 		t.Error("single-thread RunThreads differs from plain Run")
+	}
+}
+
+// TestRunThreadsQuantumLargerThanProgram: with a quantum bigger than
+// any thread's statement count, no thread ever yields — each runs to
+// completion on its first grant — and the results must still match a
+// per-thread plain Run over an equivalently interleaved heap. With
+// nothing actually interleaving, sequential execution IS that heap
+// order, so outputs and step counts match thread by thread.
+func TestRunThreadsQuantumLargerThanProgram(t *testing.T) {
+	p := serverProgram()
+	inputs := [][]byte{{3}, {7}, {11}}
+
+	space, _ := mem.NewSpace(mem.Config{})
+	backend, _ := NewNativeBackend(space)
+	results, err := RunThreads(p, Config{Backend: backend}, inputs, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	space2, _ := mem.NewSpace(mem.Config{})
+	backend2, _ := NewNativeBackend(space2)
+	for i, in := range inputs {
+		it, err := New(p, Config{Backend: backend2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := it.Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(results[i].Output) != string(plain.Output) {
+			t.Errorf("thread %d output %x, sequential run %x", i, results[i].Output, plain.Output)
+		}
+		if results[i].Steps != plain.Steps {
+			t.Errorf("thread %d steps %d, sequential run %d", i, results[i].Steps, plain.Steps)
+		}
+	}
+}
+
+// countGoroutines samples runtime.NumGoroutine with settling retries:
+// exiting thread goroutines need a beat to be torn down, so a raw
+// before/after comparison is racy. deadline-bounded, returns the first
+// sample <= want (or the last sample).
+func countGoroutines(want int) int {
+	deadline := time.Now().Add(2 * time.Second)
+	n := runtime.NumGoroutine()
+	for n > want && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	return n
+}
+
+// TestRunThreadsNoGoroutineLeak: every RunThreads invocation — clean
+// completion, single thread, huge quantum, and a mid-run crash with
+// survivors — must leave the goroutine count where it started. A
+// leaked thread goroutine would sit blocked on its grant channel
+// forever and show up here.
+func TestRunThreadsNoGoroutineLeak(t *testing.T) {
+	crashy := MustLink(&Program{
+		Name: "crashy-leak",
+		Funcs: map[string]*Func{
+			"main": {Body: []Stmt{
+				ReadInput{Dst: "bad", N: C(1)},
+				Alloc{Dst: "p", Size: C(16)},
+				If{Cond: Eq(And(V("bad"), C(0xFF)), C(1)), Then: []Stmt{
+					StoreBytes{Base: V("p"), Off: C(1 << 33), Data: []byte{1}},
+				}},
+				FreeStmt{Ptr: V("p")},
+				OutputVar{Src: "bad"},
+			}},
+		},
+	})
+	before := runtime.NumGoroutine()
+
+	runs := []struct {
+		name    string
+		p       *Program
+		inputs  [][]byte
+		quantum uint64
+	}{
+		{"clean", serverProgram(), [][]byte{{1}, {2}, {3}, {4}}, 8},
+		{"single", serverProgram(), [][]byte{{9}}, 4},
+		{"huge-quantum", serverProgram(), [][]byte{{5}, {6}}, 1 << 40},
+		{"mid-run-crash", crashy, [][]byte{{0}, {1}, {0}, {1}}, 2},
+	}
+	for _, run := range runs {
+		space, _ := mem.NewSpace(mem.Config{})
+		backend, err := NewNativeBackend(space)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := RunThreads(run.p, Config{Backend: backend}, run.inputs, run.quantum); err != nil {
+			t.Fatalf("%s: %v", run.name, err)
+		}
+		if after := countGoroutines(before); after > before {
+			t.Errorf("%s: %d goroutines before, %d after (leak)", run.name, before, after)
+		}
 	}
 }
 
