@@ -5,7 +5,7 @@ PKGS := ./...
 # race detector must cover.
 RACE_PKGS := ./internal/defense/ ./internal/prog/ ./internal/fleet/
 
-.PHONY: all build test race vet fmt-check bench bench-json bench-fleet check
+.PHONY: all build test race vet fmt-check bench bench-json bench-fleet bench-vm bench-smoke check
 
 all: check
 
@@ -41,5 +41,17 @@ bench-json:
 # parallel serve throughput at 1/2/4/8 workers.
 bench-fleet:
 	$(GO) test -run '^$$' -bench 'BenchmarkFleet' -benchmem ./internal/fleet/
+
+# Interpreter engine benchmarks: tree-walker vs bytecode VM plus the
+# one-time compile cost. BENCHTIME=1x gives a fast smoke run.
+BENCHTIME ?= 1s
+bench-vm:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngines|BenchmarkCompile' -benchmem \
+		-benchtime $(BENCHTIME) ./internal/prog/
+
+# One-iteration pass over every benchmark in the repo: catches bitrot
+# in benchmark code without paying for stable timings. CI runs this.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x $(PKGS)
 
 check: build vet fmt-check test race

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	htp-bench [-exp all|encoding|table2|table3|table4|fig8|fig9|services|ablation|guard|fleet] [-quick] [-scale N]
+//	htp-bench [-exp all|encoding|table2|table3|table4|fig8|fig9|services|ablation|guard|fleet|vm] [-quick] [-scale N] [-engine tree|vm]
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"heaptherapy/internal/experiments"
+	"heaptherapy/internal/prog"
 )
 
 func main() {
@@ -28,19 +29,27 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("htp-bench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to run: all, encoding, table2, table3, table4, fig8, fig9, services, concurrent, ablation, stackoffset, scaling, guard, fleet")
+	exp := fs.String("exp", "all", "experiment to run: all, encoding, table2, table3, table4, fig8, fig9, services, concurrent, ablation, stackoffset, scaling, guard, fleet, vm")
 	quick := fs.Bool("quick", false, "trim sweeps for a fast run")
 	scale := fs.Uint64("scale", 0, "divisor for Table IV allocation counts (default 10000)")
 	jsonOut := fs.Bool("json", false, "emit per-experiment wall time and allocations as JSON instead of rendered tables")
+	engineName := fs.String("engine", "tree", "execution engine for measured runs: tree or vm (results are bit-identical; vm is faster)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := experiments.Config{Quick: *quick, Scale: *scale}
+	engine, err := prog.ParseEngine(*engineName)
+	if err != nil {
+		return err
+	}
+	cfg := experiments.Config{Quick: *quick, Scale: *scale, Engine: engine}
 
 	type runner struct {
 		name string
 		fn   func() (fmt.Stringer, error)
 	}
+	// vmResult captures the engine comparison so -json can record the
+	// speedup and zero-alloc pin alongside the wall time.
+	var vmResult *experiments.VMComparisonResult
 	wrap := func(f func(experiments.Config) (interface{ Render() string }, error)) func() (fmt.Stringer, error) {
 		return func() (fmt.Stringer, error) {
 			r, err := f(cfg)
@@ -88,6 +97,13 @@ func run(args []string) error {
 		{"fleet", wrap(func(c experiments.Config) (interface{ Render() string }, error) {
 			return experiments.Fleet(c)
 		})},
+		{"vm", wrap(func(c experiments.Config) (interface{ Render() string }, error) {
+			r, err := experiments.VMComparison(c)
+			if err == nil {
+				vmResult = r
+			}
+			return r, err
+		})},
 		{"guard", func() (fmt.Stringer, error) {
 			global, targeted, err := experiments.GlobalGuardBaseline(cfg)
 			if err != nil {
@@ -120,12 +136,19 @@ func run(args []string) error {
 			return fmt.Errorf("experiment %s: %w", r.name, err)
 		}
 		if *jsonOut {
-			results = append(results, benchResult{
+			br := benchResult{
 				Name:       r.name,
 				NsOp:       elapsed.Nanoseconds(),
 				AllocsOp:   after.Mallocs - before.Mallocs,
 				BytesAlloc: after.TotalAlloc - before.TotalAlloc,
-			})
+			}
+			if r.name == "vm" && vmResult != nil {
+				br.Detail = map[string]float64{
+					"geomean_speedup":        vmResult.GeomeanSpeedup,
+					"steady_state_allocs_op": vmResult.SteadyStateAllocs,
+				}
+			}
+			results = append(results, br)
 		} else {
 			fmt.Println(out.String())
 		}
@@ -166,6 +189,9 @@ type benchResult struct {
 	NsOp       int64  `json:"ns_op"`
 	AllocsOp   uint64 `json:"allocs_op"`
 	BytesAlloc uint64 `json:"bytes_alloc"`
+	// Detail carries experiment-specific headline numbers (currently
+	// the vm experiment's geomean speedup and zero-alloc pin).
+	Detail map[string]float64 `json:"detail,omitempty"`
 }
 
 type stringer struct{ s string }

@@ -177,5 +177,5 @@ func profileProgram(p *prog.Program) ([]ccprof.Sample, error) {
 	if err != nil {
 		return nil, err
 	}
-	return ccprof.Profile(p, backend, coder, nil)
+	return ccprof.Profile(p, backend, coder, nil, prog.EngineTree)
 }

@@ -52,6 +52,7 @@ func run(args []string) error {
 	benign := fs.Int("benign", -1, "use the N-th built-in benign input instead of the attack")
 	threads := fs.Int("threads", 1, "run N copies concurrently over one shared heap")
 	encoderName := fs.String("encoder", "PCC", "calling-context encoder; must match the one htp-patchgen used")
+	engineName := fs.String("engine", "tree", "execution engine: tree (reference interpreter) or vm (bytecode)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -104,7 +105,11 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	sys, err := core.NewSystem(program, core.Options{Encoder: encKind})
+	engine, err := prog.ParseEngine(*engineName)
+	if err != nil {
+		return err
+	}
+	sys, err := core.NewSystem(program, core.Options{Encoder: encKind, Engine: engine})
 	if err != nil {
 		return err
 	}

@@ -60,6 +60,9 @@ type Analyzer struct {
 	ShadowConfig shadow.Config
 	// MaxSteps bounds the replay (0 = interpreter default).
 	MaxSteps uint64
+	// Engine selects the replay substrate (tree interpreter or bytecode
+	// VM); both record identical warning streams.
+	Engine prog.Engine
 }
 
 // Analyze replays the program on the attack input and generates
@@ -73,10 +76,11 @@ func (a *Analyzer) Analyze(p *prog.Program, attackInput []byte) (*Report, error)
 	if err != nil {
 		return nil, fmt.Errorf("analysis: creating shadow heap: %w", err)
 	}
-	it, err := prog.New(p, prog.Config{
+	it, err := prog.NewExec(p, prog.Config{
 		Backend:  backend,
 		Coder:    a.Coder,
 		MaxSteps: a.MaxSteps,
+		Engine:   a.Engine,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("analysis: building interpreter: %w", err)

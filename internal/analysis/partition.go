@@ -40,10 +40,11 @@ func (a *Analyzer) AnalyzePartitioned(p *prog.Program, attackInput []byte, n int
 		if err != nil {
 			return nil, fmt.Errorf("analysis: creating shadow heap: %w", err)
 		}
-		it, err := prog.New(p, prog.Config{
+		it, err := prog.NewExec(p, prog.Config{
 			Backend:  backend,
 			Coder:    a.Coder,
 			MaxSteps: a.MaxSteps,
+			Engine:   a.Engine,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("analysis: building interpreter: %w", err)

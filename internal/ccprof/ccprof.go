@@ -124,10 +124,11 @@ func Symbolize(samples []Sample, p *prog.Program, coder *encoding.Coder) {
 
 // Profile runs the program once with profiling over a native backend
 // factory-provided by the caller and returns the sorted, symbolized
-// profile.
-func Profile(p *prog.Program, backend prog.HeapBackend, coder *encoding.Coder, input []byte) ([]Sample, error) {
+// profile. The engine choice does not change the profile: allocation
+// order and CCIDs are bit-identical across engines.
+func Profile(p *prog.Program, backend prog.HeapBackend, coder *encoding.Coder, input []byte, engine prog.Engine) ([]Sample, error) {
 	prof := New(backend)
-	it, err := prog.New(p, prog.Config{Backend: prof, Coder: coder})
+	it, err := prog.NewExec(p, prog.Config{Backend: prof, Coder: coder, Engine: engine})
 	if err != nil {
 		return nil, err
 	}

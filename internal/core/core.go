@@ -29,6 +29,11 @@ type Options struct {
 	QueueQuota uint64
 	// MaxSteps bounds each execution (0 = interpreter default).
 	MaxSteps uint64
+	// Engine selects the execution substrate for every pipeline stage
+	// (offline analysis, native baseline, defended runs). The engines
+	// are differentially verified bit-identical, so patches generated
+	// under one apply under the other.
+	Engine prog.Engine
 }
 
 func (o Options) withDefaults() Options {
@@ -83,6 +88,7 @@ func (s *System) GeneratePatches(attackInput []byte) (*analysis.Report, error) {
 	a := &analysis.Analyzer{
 		Coder:    s.coder,
 		MaxSteps: s.opts.MaxSteps,
+		Engine:   s.opts.Engine,
 	}
 	return a.Analyze(s.program, attackInput)
 }
@@ -98,7 +104,7 @@ func (s *System) RunNative(input []byte) (*prog.Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: creating native backend: %w", err)
 	}
-	it, err := prog.New(s.program, prog.Config{Backend: backend, MaxSteps: s.opts.MaxSteps})
+	it, err := prog.NewExec(s.program, prog.Config{Backend: backend, MaxSteps: s.opts.MaxSteps, Engine: s.opts.Engine})
 	if err != nil {
 		return nil, fmt.Errorf("core: building interpreter: %w", err)
 	}
@@ -138,10 +144,11 @@ func (s *System) RunDefended(input []byte, patches *patch.Set) (*DefendedRun, er
 	if err != nil {
 		return nil, fmt.Errorf("core: creating defended backend: %w", err)
 	}
-	it, err := prog.New(s.program, prog.Config{
+	it, err := prog.NewExec(s.program, prog.Config{
 		Backend:  backend,
 		Coder:    s.coder,
 		MaxSteps: s.opts.MaxSteps,
+		Engine:   s.opts.Engine,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: building interpreter: %w", err)
@@ -209,6 +216,7 @@ func (s *System) RunDefendedThreads(inputs [][]byte, patches *patch.Set) ([]*pro
 		Backend:  backend,
 		Coder:    s.coder,
 		MaxSteps: s.opts.MaxSteps,
+		Engine:   s.opts.Engine,
 	}, inputs, prog.DefaultQuantum)
 	if err != nil {
 		return nil, defense.Stats{}, fmt.Errorf("core: defended threads: %w", err)
@@ -223,6 +231,7 @@ func (s *System) GeneratePatchesPartitioned(attackInput []byte, n int) (*analysi
 	a := &analysis.Analyzer{
 		Coder:    s.coder,
 		MaxSteps: s.opts.MaxSteps,
+		Engine:   s.opts.Engine,
 	}
 	return a.AnalyzePartitioned(s.program, attackInput, n)
 }

@@ -115,6 +115,19 @@ func (b *Backend) Memset(addr uint64, c byte, n, _ uint64) error {
 // V-bit checking (that is offline analysis work).
 func (b *Backend) CheckUse(prog.Value, prog.UseKind, uint64) {}
 
+// ObservesUse implements prog.UseObserver: defended execution ignores
+// use points, so engines may elide CheckUse calls entirely.
+func (b *Backend) ObservesUse() bool { return false }
+
+// PatchTableGeneration implements prog.PatchProber (see
+// Defender.TableGeneration).
+func (b *Backend) PatchTableGeneration() uint64 { return b.def.TableGeneration() }
+
+// ProbePatched implements prog.PatchProber (see Defender.ProbePatched).
+func (b *Backend) ProbePatched(fn heapsim.AllocFn, ccid uint64) bool {
+	return b.def.ProbePatched(fn, ccid)
+}
+
 // Cycles implements prog.HeapBackend.
 func (b *Backend) Cycles() uint64 { return b.cycles + b.def.Cycles() }
 

@@ -176,6 +176,9 @@ type Defender struct {
 
 	stats  Stats
 	cycles uint64
+
+	// gen counts patch-table (re)establishments; see TableGeneration.
+	gen uint64
 }
 
 // New creates a defense layer over a fresh heap in space. Loading the
@@ -210,6 +213,11 @@ func New(space *mem.Space, cfg Config) (*Defender, error) {
 // private table materialized and sealed read-only in the Defender's
 // own space.
 func (d *Defender) initTable() error {
+	// Any (re)establishment of the table — construction or Reset —
+	// starts a new verdict generation, even when the re-established
+	// table carries the same patches: staleness is decided by epoch, not
+	// by content comparison.
+	d.gen++
 	if d.cfg.Mode != ModeFull {
 		return nil
 	}
@@ -667,6 +675,37 @@ func (d *Defender) UsableSize(user uint64) (uint64, error) {
 
 // Cycles returns accumulated virtual-cycle cost of defense work.
 func (d *Defender) Cycles() uint64 { return d.cycles }
+
+// TableGeneration returns the patch-table epoch: a counter that changes
+// whenever the table is (re)established — at construction and on every
+// Reset. A cached per-{FUN, CCID} verdict is valid exactly as long as
+// the generation it was probed under; consumers (the bytecode VM's
+// per-site inline caches) re-probe when the epoch moves. The count is
+// bumped even when a Reset re-materializes identical patches: epoch
+// comparison is O(1) and never wrong, content comparison is neither.
+func (d *Defender) TableGeneration() uint64 { return d.gen }
+
+// ProbePatched reports whether an allocation through fn at ccid would
+// hit an installed patch. Unlike the lookup on the allocation path it
+// is completely side-effect-free — no statistics, no cycle charges — so
+// profiling layers can classify sites without perturbing the defended
+// execution they observe. Interposition-only mode has no table and
+// probes false.
+func (d *Defender) ProbePatched(fn heapsim.AllocFn, ccid uint64) bool {
+	if d.cfg.Mode != ModeFull {
+		return false
+	}
+	key := patch.Key{Fn: fn, CCID: ccid}
+	if d.shared != nil {
+		types, _ := d.shared.Lookup(key)
+		return types != 0
+	}
+	if d.table == nil {
+		return false
+	}
+	types, _, err := d.table.lookup(key)
+	return err == nil && types != 0
+}
 
 // Reset returns the Defender to its freshly constructed state over a
 // space that has itself just been Reset: statistics, cycle accounting,

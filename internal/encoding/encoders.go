@@ -3,6 +3,7 @@ package encoding
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"heaptherapy/internal/callgraph"
 )
@@ -47,12 +48,14 @@ func AllEncoders() []EncoderKind {
 
 // ParseEncoder parses an encoder name (as printed by String).
 func ParseEncoder(s string) (EncoderKind, error) {
+	names := make([]string, 0, len(AllEncoders()))
 	for _, k := range AllEncoders() {
 		if k.String() == s {
 			return k, nil
 		}
+		names = append(names, k.String())
 	}
-	return 0, fmt.Errorf("encoding: unknown encoder %q", s)
+	return 0, fmt.Errorf("encoding: unknown encoder %q (valid: %s)", s, strings.Join(names, ", "))
 }
 
 // ErrNoDecode is returned when an encoder cannot decode CCIDs (PCC).
@@ -139,6 +142,49 @@ func (c *Coder) Instrumented(s callgraph.SiteID) bool { return c.plan.Instrument
 
 // SiteConst returns the constant embedded at site s.
 func (c *Coder) SiteConst(s callgraph.SiteID) uint64 { return c.consts[s] }
+
+// SiteUpdate is the compiled form of one site's V-update: everything a
+// code generator needs to emit the update arithmetic without consulting
+// the plan or the constant table again. The update is
+//
+//	V = t + Const        (additive encoders)
+//	V = 3*t + Const      (Mul3, i.e. PCC)
+//
+// for instrumented sites, and the identity otherwise. This is exactly
+// the per-site delta an instrumentation pass embeds in the binary, so a
+// bytecode compiler can resolve it once at compile time instead of
+// paying a plan-set lookup per executed call.
+type SiteUpdate struct {
+	// Instrumented reports whether the site updates V at all.
+	Instrumented bool
+	// Mul3 selects the PCC arithmetic V = 3*t + Const; additive
+	// encoders use V = t + Const.
+	Mul3 bool
+	// Const is the per-site constant (meaningful only if Instrumented).
+	Const uint64
+}
+
+// Apply computes the V update on a prologue value t.
+func (u SiteUpdate) Apply(t uint64) uint64 {
+	if !u.Instrumented {
+		return t
+	}
+	if u.Mul3 {
+		return 3*t + u.Const
+	}
+	return t + u.Const
+}
+
+// CompileSite returns the precomputed update record for site s. It is
+// pure per site: the record never changes after the Coder is built, so
+// cached copies (bytecode operands, inline caches) stay valid for the
+// Coder's lifetime.
+func (c *Coder) CompileSite(s callgraph.SiteID) SiteUpdate {
+	if !c.plan.Instrumented(s) {
+		return SiteUpdate{}
+	}
+	return SiteUpdate{Instrumented: true, Mul3: c.kind == EncoderPCC, Const: c.consts[s]}
+}
 
 // Update computes the V value for a call through site s given the
 // caller's prologue value t. For uninstrumented sites V is unchanged.

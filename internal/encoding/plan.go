@@ -32,6 +32,7 @@ package encoding
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"heaptherapy/internal/callgraph"
 )
@@ -75,12 +76,14 @@ func AllSchemes() []Scheme {
 
 // ParseScheme parses a scheme name (case sensitive, as printed).
 func ParseScheme(s string) (Scheme, error) {
+	names := make([]string, 0, len(AllSchemes()))
 	for _, sc := range AllSchemes() {
 		if sc.String() == s {
 			return sc, nil
 		}
+		names = append(names, sc.String())
 	}
-	return 0, fmt.Errorf("encoding: unknown scheme %q", s)
+	return 0, fmt.Errorf("encoding: unknown scheme %q (valid: %s)", s, strings.Join(names, ", "))
 }
 
 // Plan is the result of instrumentation planning: the set of call sites

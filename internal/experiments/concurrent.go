@@ -51,11 +51,11 @@ func ConcurrentServices(cfg Config) (*ConcurrentServicesResult, error) {
 				inputs[i] = []byte{byte(i)}
 			}
 
-			nat, err := runThreadsTotal(p, nil, false, inputs)
+			nat, err := runThreadsTotal(cfg.Engine, p, nil, false, inputs)
 			if err != nil {
 				return nil, err
 			}
-			def, err := runThreadsTotal(p, coder, true, inputs)
+			def, err := runThreadsTotal(cfg.Engine, p, coder, true, inputs)
 			if err != nil {
 				return nil, err
 			}
@@ -72,7 +72,7 @@ func ConcurrentServices(cfg Config) (*ConcurrentServicesResult, error) {
 // runThreadsTotal executes the program on n threads over one shared
 // backend and returns the aggregate cycle cost (per-thread interpreter
 // cycles plus the shared backend's total).
-func runThreadsTotal(p *prog.Program, coder *encoding.Coder, defended bool, inputs [][]byte) (uint64, error) {
+func runThreadsTotal(engine prog.Engine, p *prog.Program, coder *encoding.Coder, defended bool, inputs [][]byte) (uint64, error) {
 	space, err := mem.NewSpace(mem.Config{})
 	if err != nil {
 		return 0, err
@@ -91,7 +91,7 @@ func runThreadsTotal(p *prog.Program, coder *encoding.Coder, defended bool, inpu
 		}
 		backend = nb
 	}
-	results, err := prog.RunThreads(p, prog.Config{Backend: backend, Coder: coder}, inputs, prog.DefaultQuantum)
+	results, err := prog.RunThreads(p, prog.Config{Backend: backend, Coder: coder, Engine: engine}, inputs, prog.DefaultQuantum)
 	if err != nil {
 		return 0, err
 	}

@@ -45,7 +45,7 @@ func EncodingOverhead(cfg Config) (*EncodingOverheadResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		base, err := runOnce(p, nil, backendNative, nil, nil)
+		base, err := runOnce(cfg.Engine, p, nil, backendNative, nil, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -55,7 +55,7 @@ func EncodingOverhead(cfg Config) (*EncodingOverheadResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			m, err := runOnce(p, coder, backendNative, nil, nil)
+			m, err := runOnce(cfg.Engine, p, coder, backendNative, nil, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -74,7 +74,7 @@ func EncodingOverhead(cfg Config) (*EncodingOverheadResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			m, err := runOnce(p, coder, backendNative, nil, nil)
+			m, err := runOnce(cfg.Engine, p, coder, backendNative, nil, nil)
 			if err != nil {
 				return nil, err
 			}

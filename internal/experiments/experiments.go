@@ -35,6 +35,11 @@ type Config struct {
 	Scale uint64
 	// Quick trims parameter sweeps for fast runs.
 	Quick bool
+	// Engine selects the execution substrate (tree interpreter or
+	// bytecode VM). Both produce bit-identical measurements — locked in
+	// by TestExperimentsEngineIndependent — so the choice only affects
+	// wall-clock time of the experiment harness itself.
+	Engine prog.Engine
 }
 
 func (c Config) programConfig() workload.ProgramConfig {
@@ -59,7 +64,7 @@ type measured struct {
 
 // runOnce executes p on input with the given substrate and optional
 // coder, on a fresh address space.
-func runOnce(p *prog.Program, coder *encoding.Coder, kind backendKind, patches *patch.Set, input []byte) (*measured, error) {
+func runOnce(engine prog.Engine, p *prog.Program, coder *encoding.Coder, kind backendKind, patches *patch.Set, input []byte) (*measured, error) {
 	space, err := mem.NewSpace(mem.Config{})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: creating space: %w", err)
@@ -90,7 +95,7 @@ func runOnce(p *prog.Program, coder *encoding.Coder, kind backendKind, patches *
 	default:
 		return nil, fmt.Errorf("experiments: unknown backend kind %d", kind)
 	}
-	it, err := prog.New(p, prog.Config{Backend: backend, Coder: coder})
+	it, err := prog.NewExec(p, prog.Config{Backend: backend, Coder: coder, Engine: engine})
 	if err != nil {
 		return nil, err
 	}
@@ -149,7 +154,7 @@ func (r *ccidRecorder) Realloc(ccid, ptr, size uint64) (uint64, error) {
 // protocol ("we pick the CCIDs with median frequencies as the
 // hypothesized vulnerable ones" — overflow being the most expensive
 // type to treat).
-func medianCCIDPatches(p *prog.Program, coder *encoding.Coder, n int) (*patch.Set, error) {
+func medianCCIDPatches(engine prog.Engine, p *prog.Program, coder *encoding.Coder, n int) (*patch.Set, error) {
 	space, err := mem.NewSpace(mem.Config{})
 	if err != nil {
 		return nil, err
@@ -159,7 +164,7 @@ func medianCCIDPatches(p *prog.Program, coder *encoding.Coder, n int) (*patch.Se
 		return nil, err
 	}
 	rec := &ccidRecorder{HeapBackend: nb, counts: make(map[patch.Key]uint64)}
-	it, err := prog.New(p, prog.Config{Backend: rec, Coder: coder})
+	it, err := prog.NewExec(p, prog.Config{Backend: rec, Coder: coder, Engine: engine})
 	if err != nil {
 		return nil, err
 	}

@@ -49,25 +49,25 @@ func Figure8(cfg Config) (*Figure8Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		base, err := runOnce(p, nil, backendNative, nil, nil)
+		base, err := runOnce(cfg.Engine, p, nil, backendNative, nil, nil)
 		if err != nil {
 			return nil, err
 		}
 		row := make(map[string]float64, len(Figure8Configs))
 
 		// Interposition only.
-		m, err := runOnce(p, coder, backendInterpose, nil, nil)
+		m, err := runOnce(cfg.Engine, p, coder, backendInterpose, nil, nil)
 		if err != nil {
 			return nil, err
 		}
 		row["interpose"] = overheadPct(base.res.Cycles, m.res.Cycles)
 
 		for _, n := range []int{0, 1, 5} {
-			patches, err := medianCCIDPatches(p, coder, n)
+			patches, err := medianCCIDPatches(cfg.Engine, p, coder, n)
 			if err != nil {
 				return nil, err
 			}
-			m, err := runOnce(p, coder, backendFull, patches, nil)
+			m, err := runOnce(cfg.Engine, p, coder, backendFull, patches, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -182,11 +182,11 @@ func Figure9(cfg Config) (*Figure9Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		natAvg, natPeak, err := runSampled(p, nil, backendNative)
+		natAvg, natPeak, err := runSampled(cfg.Engine, p, nil, backendNative)
 		if err != nil {
 			return nil, err
 		}
-		defAvg, defPeak, err := runSampled(p, coder, backendFull)
+		defAvg, defPeak, err := runSampled(cfg.Engine, p, coder, backendFull)
 		if err != nil {
 			return nil, err
 		}
@@ -203,7 +203,7 @@ func Figure9(cfg Config) (*Figure9Result, error) {
 
 // runSampled executes p with footprint sampling and returns the
 // average and peak live-heap bytes.
-func runSampled(p *prog.Program, coder *encoding.Coder, kind backendKind) (avg, peak uint64, err error) {
+func runSampled(engine prog.Engine, p *prog.Program, coder *encoding.Coder, kind backendKind) (avg, peak uint64, err error) {
 	space, err := mem.NewSpace(mem.Config{})
 	if err != nil {
 		return 0, 0, err
@@ -226,7 +226,7 @@ func runSampled(p *prog.Program, coder *encoding.Coder, kind backendKind) (avg, 
 		inner, heap = db, db.Defender().Heap()
 	}
 	sampler := &rssSampler{HeapBackend: inner, heap: heap}
-	it, err := prog.New(p, prog.Config{Backend: sampler, Coder: coder})
+	it, err := prog.NewExec(p, prog.Config{Backend: sampler, Coder: coder, Engine: engine})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -261,5 +261,5 @@ func (r *Figure9Result) Render() string {
 // Figure8PatchSelection exposes the median-CCID patch-selection
 // protocol for external harnesses (bench_test.go).
 func Figure8PatchSelection(p *prog.Program, coder *encoding.Coder, n int) (*patch.Set, error) {
-	return medianCCIDPatches(p, coder, n)
+	return medianCCIDPatches(prog.EngineTree, p, coder, n)
 }

@@ -1,0 +1,171 @@
+package fleet
+
+import (
+	"bytes"
+	"testing"
+
+	"heaptherapy/internal/encoding"
+	"heaptherapy/internal/patch"
+	"heaptherapy/internal/prog"
+)
+
+// runOnEngine is runOn with an explicit engine: one request on a
+// context, snapshotted.
+func runOnEngine(t *testing.T, engine prog.Engine, ctx *Context, p *prog.Program, coder *encoding.Coder, input []byte) snapshot {
+	t.Helper()
+	it, err := prog.NewExec(p, prog.Config{Backend: ctx.Backend(), Coder: coder, Engine: engine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := it.Run(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap(t, res, ctx.Defender())
+}
+
+// TestFleetVMBitIdenticalAcrossReset: requests served by the bytecode
+// VM on a RECYCLED context must be bit-identical to the same requests
+// served by the tree interpreter on FRESH contexts — the strongest
+// cross-product of the two equivalence claims (engine identity and
+// recycling identity), over both allocators, including the guard-page
+// crash requests.
+func TestFleetVMBitIdenticalAcrossReset(t *testing.T) {
+	uaf := uafProgram()
+	uafCoder, uafPatches := analyzeUAF(t, uaf)
+	ovf := overflowProgram()
+	ovfCoder, ovfPatches := overflowSetup(t, ovf)
+
+	cases := []struct {
+		name    string
+		p       *prog.Program
+		coder   *encoding.Coder
+		patches *patch.Set
+		inputs  [][]byte
+	}{
+		{"uaf", uaf, uafCoder, uafPatches, [][]byte{{0x00}, {0xEE}, {0x00}, {0xEE}}},
+		{"guard-crash", ovf, ovfCoder, ovfPatches, [][]byte{{0}, {1}, {0}, {1}}},
+	}
+	for _, kind := range []AllocKind{AllocBoundaryTag, AllocPool} {
+		for _, c := range cases {
+			t.Run(kind.String()+"/"+c.name, func(t *testing.T) {
+				cfg := Config{Workers: 1, Defended: true, Patches: c.patches, Alloc: kind}
+
+				// VM over one recycled context.
+				vmFleet := New(cfg)
+				ctx, err := vmFleet.newContext()
+				if err != nil {
+					t.Fatal(err)
+				}
+				var vmSnaps []snapshot
+				for _, in := range c.inputs {
+					vmSnaps = append(vmSnaps, runOnEngine(t, prog.EngineVM, ctx, c.p, c.coder, in))
+					if err := ctx.Reset(); err != nil {
+						t.Fatal(err)
+					}
+				}
+
+				// Tree over fresh contexts.
+				freshFleet := New(cfg)
+				for i, in := range c.inputs {
+					fresh, err := freshFleet.newContext()
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := runOn(t, fresh, c.p, c.coder, in)
+					if vmSnaps[i] != want {
+						t.Errorf("request %d (%x): recycled VM diverges from fresh tree\nvm:   %+v\ntree: %+v",
+							i, in, vmSnaps[i], want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestFleetVMReusedInstanceAcrossReset pins the inline-cache
+// invalidation contract: ONE VM instance kept alive across
+// Context.Reset must observe the rebuilt patch table (the defender
+// bumps its generation on Reset) and still produce bit-identical
+// snapshots to fresh tree-interpreter contexts. A stale verdict cache
+// would surface as diverging PatchedAllocs or defense stats.
+func TestFleetVMReusedInstanceAcrossReset(t *testing.T) {
+	p := uafProgram()
+	coder, patches := analyzeUAF(t, p)
+	cfg := Config{Workers: 1, Defended: true, Patches: patches}
+
+	f := New(cfg)
+	ctx, err := f.newContext()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := prog.NewExec(p, prog.Config{Backend: ctx.Backend(), Coder: coder, Engine: prog.EngineVM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := [][]byte{{0x00}, {0xEE}, {0x00}, {0xEE}, {0xEE}}
+	var vmSnaps []snapshot
+	for _, in := range inputs {
+		res, err := vm.Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vmSnaps = append(vmSnaps, snap(t, res, ctx.Defender()))
+		if err := ctx.Reset(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	freshFleet := New(cfg)
+	for i, in := range inputs {
+		fresh, err := freshFleet.newContext()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := runOn(t, fresh, p, coder, in)
+		if vmSnaps[i] != want {
+			t.Errorf("request %d: reused VM across Reset diverges from fresh tree\nvm:   %+v\ntree: %+v",
+				i, vmSnaps[i], want)
+		}
+	}
+}
+
+// TestFleetServeEngines: full parallel Serve must return the same
+// per-request results and merged fleet statistics under both engines.
+func TestFleetServeEngines(t *testing.T) {
+	p := uafProgram()
+	coder, patches := analyzeUAF(t, p)
+
+	inputs := make([][]byte, 24)
+	for i := range inputs {
+		if i%3 == 0 {
+			inputs[i] = []byte{0xEE}
+		} else {
+			inputs[i] = []byte{0x00}
+		}
+	}
+	serve := func(engine prog.Engine) ([]*prog.Result, Stats) {
+		f := New(Config{Workers: 4, Defended: true, Patches: patches, Engine: engine})
+		res, err := f.Serve(p, coder, inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, f.Stats()
+	}
+	tres, tstats := serve(prog.EngineTree)
+	vres, vstats := serve(prog.EngineVM)
+	for i := range tres {
+		if !bytes.Equal(tres[i].Output, vres[i].Output) ||
+			tres[i].Steps != vres[i].Steps ||
+			tres[i].Cycles != vres[i].Cycles ||
+			tres[i].Crashed() != vres[i].Crashed() {
+			t.Errorf("request %d diverges across engines\ntree: %+v\nvm:   %+v", i, tres[i], vres[i])
+		}
+	}
+	// ContextsBuilt depends on pool behavior, not the engine contract;
+	// everything else must match exactly.
+	tstats.ContextsBuilt, vstats.ContextsBuilt = 0, 0
+	if tstats != vstats {
+		t.Errorf("fleet stats diverge\ntree: %+v\nvm:   %+v", tstats, vstats)
+	}
+}

@@ -80,6 +80,12 @@ type Config struct {
 	// QueueQuota bounds each worker's deferred-free FIFO
 	// (0 = defense.DefaultQueueQuota).
 	QueueQuota uint64
+	// Engine selects each worker's execution substrate (tree
+	// interpreter or bytecode VM). Under EngineVM, Serve compiles the
+	// program once and every worker runs the shared immutable bytecode
+	// with its own private VM state — the same shape as the sealed
+	// patch table: one read-only artifact, many readers.
+	Engine prog.Engine
 }
 
 // Stats is a snapshot of fleet-wide activity: request accounting plus
@@ -205,6 +211,20 @@ func (f *Fleet) Serve(p *prog.Program, coder *encoding.Coder, inputs [][]byte) (
 		workers = n
 	}
 
+	// Under the VM engine the bytecode is translated once per Serve and
+	// shared read-only by every worker.
+	var compiled *prog.Compiled
+	switch f.cfg.Engine {
+	case prog.EngineTree:
+	case prog.EngineVM:
+		var err error
+		if compiled, err = prog.Compile(p, coder); err != nil {
+			return nil, fmt.Errorf("fleet: compiling program: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("fleet: unknown engine %v", f.cfg.Engine)
+	}
+
 	results := make([]*prog.Result, n)
 	errs := make([]error, workers)
 	var next atomic.Int64
@@ -213,7 +233,7 @@ func (f *Fleet) Serve(p *prog.Program, coder *encoding.Coder, inputs [][]byte) (
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			errs[w] = f.serveWorker(p, coder, inputs, results, &next)
+			errs[w] = f.serveWorker(p, compiled, coder, inputs, results, &next)
 		}(w)
 	}
 	wg.Wait()
@@ -228,12 +248,17 @@ func (f *Fleet) Serve(p *prog.Program, coder *encoding.Coder, inputs [][]byte) (
 
 // serveWorker is one worker goroutine's request loop over its private
 // context.
-func (f *Fleet) serveWorker(p *prog.Program, coder *encoding.Coder, inputs [][]byte, results []*prog.Result, next *atomic.Int64) error {
+func (f *Fleet) serveWorker(p *prog.Program, compiled *prog.Compiled, coder *encoding.Coder, inputs [][]byte, results []*prog.Result, next *atomic.Int64) error {
 	ctx, err := f.Acquire()
 	if err != nil {
 		return err
 	}
-	it, err := prog.New(p, prog.Config{Backend: ctx.backend, Coder: coder})
+	var it prog.Exec
+	if compiled != nil {
+		it, err = prog.NewVM(compiled, prog.Config{Backend: ctx.backend, Coder: coder})
+	} else {
+		it, err = prog.New(p, prog.Config{Backend: ctx.backend, Coder: coder})
+	}
 	if err != nil {
 		f.Release(ctx)
 		return fmt.Errorf("fleet: interpreter: %w", err)

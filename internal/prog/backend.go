@@ -77,6 +77,30 @@ type BulkLoader interface {
 	LoadInto(dst *Value, addr, n, ccid uint64) error
 }
 
+// UseObserver is an optional HeapBackend extension that lets a backend
+// declare whether CheckUse does anything at all. Backends that return
+// false (native, defended) promise CheckUse is a no-op with no cycle
+// or statistics effect, which lets compiled engines elide the calls
+// from hot paths. Backends that do not implement the interface are
+// conservatively treated as observing: wrappers that count or forward
+// use points keep seeing every call.
+type UseObserver interface {
+	ObservesUse() bool
+}
+
+// PatchProber is an optional HeapBackend extension exposing
+// side-effect-free visibility into a defense patch table, for per-site
+// verdict caches: ProbePatched answers "would an allocation through fn
+// at ccid hit a patch?" without touching statistics or cycles, and
+// PatchTableGeneration is the epoch that invalidates cached answers
+// (it changes whenever the table is re-established, e.g. on a fleet
+// worker recycle). The defended backend implements it; allocation-path
+// lookups and their accounting are unaffected.
+type PatchProber interface {
+	PatchTableGeneration() uint64
+	ProbePatched(fn heapsim.AllocFn, ccid uint64) bool
+}
+
 // NativeBackend runs programs directly against the raw allocator with
 // no interposition: the paper's uninstrumented native execution, the
 // baseline all overhead numbers normalize against.
@@ -178,6 +202,10 @@ func (nb *NativeBackend) Memset(addr uint64, b byte, n, _ uint64) error {
 
 // CheckUse implements HeapBackend: native execution checks nothing.
 func (nb *NativeBackend) CheckUse(Value, UseKind, uint64) {}
+
+// ObservesUse implements UseObserver: native execution ignores use
+// points, so engines may elide CheckUse calls entirely.
+func (nb *NativeBackend) ObservesUse() bool { return false }
 
 // Reset recycles the backend for a new execution after its space has
 // been Reset: cycle accounting is cleared and the heap re-reserves its

@@ -1,0 +1,91 @@
+package prog
+
+import "fmt"
+
+// Engine selects the execution substrate for a linked program: the
+// reference tree-walking interpreter, or the bytecode VM compiled from
+// the same AST. The two are differentially verified to be
+// bit-identical (results, statistics, crashes, cycle accounting); the
+// tree-walker remains the semantic reference, the VM the fast path.
+type Engine uint8
+
+// Engines.
+const (
+	// EngineTree is the reference tree-walking interpreter (the zero
+	// value, so existing configurations keep their behavior).
+	EngineTree Engine = iota
+	// EngineVM compiles the program once to flat bytecode and executes
+	// it on the register VM (see compile.go / vm.go).
+	EngineVM
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineTree:
+		return "tree"
+	case EngineVM:
+		return "vm"
+	default:
+		return fmt.Sprintf("Engine(%d)", uint8(e))
+	}
+}
+
+// AllEngines lists the engines, reference first.
+func AllEngines() []Engine { return []Engine{EngineTree, EngineVM} }
+
+// ParseEngine parses an engine name (as printed by String).
+func ParseEngine(s string) (Engine, error) {
+	names := make([]string, 0, len(AllEngines()))
+	for _, e := range AllEngines() {
+		if e.String() == s {
+			return e, nil
+		}
+		names = append(names, e.String())
+	}
+	return 0, fmt.Errorf("prog: unknown engine %q (valid: %s)", s, joinNames(names))
+}
+
+func joinNames(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}
+
+// Exec is the engine-independent execution interface: one program
+// instance bound to one backend, runnable many times. Both *Interp and
+// *VM implement it (and the unexported scheduling hook RunThreads
+// needs), so every caller that holds an Exec works identically on
+// either engine.
+type Exec interface {
+	Run(input []byte) (*Result, error)
+}
+
+// runner is the internal contract RunThreads needs on top of Exec.
+type runner interface {
+	Exec
+	setSchedHook(every uint64, fn func())
+}
+
+// NewExec constructs an executor for p per cfg.Engine. EngineTree
+// yields the reference interpreter; EngineVM compiles p (once per
+// call — share a Compiled via NewVM to amortize across instances) and
+// yields a VM.
+func NewExec(p *Program, cfg Config) (Exec, error) {
+	switch cfg.Engine {
+	case EngineTree:
+		return New(p, cfg)
+	case EngineVM:
+		c, err := Compile(p, cfg.Coder)
+		if err != nil {
+			return nil, err
+		}
+		return NewVM(c, cfg)
+	default:
+		return nil, fmt.Errorf("prog: unknown engine %v", cfg.Engine)
+	}
+}

@@ -19,6 +19,11 @@ type Config struct {
 	MaxSteps uint64
 	// MaxDepth bounds call recursion (0 = DefaultMaxDepth).
 	MaxDepth int
+	// Engine selects the execution substrate (tree-walker or bytecode
+	// VM) for engine-generic constructors (NewExec, RunThreads). New
+	// ignores it (always the tree-walker), NewVM requires consistency
+	// with its Compiled program.
+	Engine Engine
 }
 
 // Interpreter limits.
@@ -113,6 +118,14 @@ func (it *Interp) tick() error {
 // errCrashed signals a terminating memory/heap fault up the exec stack;
 // the fault itself is held in Interp.fault.
 var errCrashed = errors.New("prog: execution terminated by fault")
+
+// setSchedHook installs the cooperative-scheduling yield hook (see
+// RunThreads); both engines implement it, which is what lets threaded
+// execution run on either.
+func (it *Interp) setSchedHook(every uint64, fn func()) {
+	it.yieldEvery = every
+	it.yield = fn
+}
 
 // New creates an interpreter for a linked program.
 func New(p *Program, cfg Config) (*Interp, error) {
@@ -379,9 +392,11 @@ func (it *Interp) execBlock(body []Stmt, f *frame) (returned bool, ret Value, er
 			if err != nil {
 				return false, Value{}, err
 			}
-			take := int(n.Uint())
-			if rem := len(it.input) - it.inPos; take > rem {
-				take = rem
+			// Clamp in uint64 space: a request of 2^63 or more must
+			// saturate at the remaining input, not wrap negative.
+			take := len(it.input) - it.inPos
+			if nu := n.Uint(); nu < uint64(take) {
+				take = int(nu)
 			}
 			buf := make([]byte, take)
 			copy(buf, it.input[it.inPos:it.inPos+take])
@@ -671,7 +686,17 @@ func (it *Interp) eval(e Expr, f *frame) (Value, error) {
 }
 
 func applyBin(op BinOp, a, b Value) (Value, error) {
-	x, y := a.Uint(), b.Uint()
+	r, err := binScalar(op, a.Uint(), b.Uint())
+	if err != nil {
+		return Value{}, err
+	}
+	return combineScalar(r, a, b), nil
+}
+
+// binScalar is the scalar ALU shared by the tree-walker and the
+// bytecode VM; keeping one implementation is what makes "same operator,
+// same bits" a structural property rather than a test obligation.
+func binScalar(op BinOp, x, y uint64) (uint64, error) {
 	var r uint64
 	switch op {
 	case OpAdd:
@@ -711,9 +736,9 @@ func applyBin(op BinOp, a, b Value) (Value, error) {
 	case OpGe:
 		r = b2u(x >= y)
 	default:
-		return Value{}, fmt.Errorf("prog: unknown binary op %d", op)
+		return 0, fmt.Errorf("prog: unknown binary op %d", op)
 	}
-	return combineScalar(r, a, b), nil
+	return r, nil
 }
 
 func b2u(b bool) uint64 {

@@ -1,0 +1,110 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+)
+
+// Link error paths beyond the basics in interp_test.go: name-map
+// consistency, unresolved callees in nested blocks and non-entry
+// functions, and the MustLink panic contract.
+
+func TestLinkRejectsMismatchedFuncName(t *testing.T) {
+	p := &Program{
+		Name: "dup",
+		Funcs: map[string]*Func{
+			"main":   {Body: []Stmt{Nop{}}},
+			"helper": {Name: "other", Body: []Stmt{Nop{}}},
+		},
+	}
+	err := Link(p)
+	if err == nil {
+		t.Fatal("Link accepted a function whose map key disagrees with its Name")
+	}
+	want := `prog dup: function map key "helper" != Func.Name "other"`
+	if err.Error() != want {
+		t.Errorf("error = %q, want %q", err, want)
+	}
+}
+
+func TestLinkFillsEmptyFuncNames(t *testing.T) {
+	p := &Program{
+		Name: "fill",
+		Funcs: map[string]*Func{
+			"main": {Body: []Stmt{Call{Callee: "helper"}}},
+			// Name left empty: Link adopts the map key.
+			"helper": {Body: []Stmt{Nop{}}},
+		},
+	}
+	if err := Link(p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Funcs["helper"].Name != "helper" {
+		t.Errorf("helper Name = %q, want filled from map key", p.Funcs["helper"].Name)
+	}
+}
+
+func TestLinkRejectsUndefinedCalleeInHelper(t *testing.T) {
+	p := &Program{
+		Name: "deep",
+		Funcs: map[string]*Func{
+			"main": {Body: []Stmt{Call{Callee: "helper"}}},
+			"helper": {Body: []Stmt{
+				If{Cond: C(1), Then: []Stmt{
+					While{Cond: C(0), Body: []Stmt{
+						Call{Callee: "phantom"},
+					}},
+				}},
+			}},
+		},
+	}
+	err := Link(p)
+	if err == nil {
+		t.Fatal("Link accepted an undefined callee nested in if/while")
+	}
+	want := `prog deep: helper calls undefined function "phantom"`
+	if err.Error() != want {
+		t.Errorf("error = %q, want %q", err, want)
+	}
+}
+
+func TestLinkRejectsUndefinedCalleeInElse(t *testing.T) {
+	p := &Program{
+		Name: "else",
+		Funcs: map[string]*Func{
+			"main": {Body: []Stmt{
+				If{Cond: C(0), Then: []Stmt{Nop{}}, Else: []Stmt{Call{Callee: "ghost"}}},
+			}},
+		},
+	}
+	err := Link(p)
+	if err == nil || !strings.Contains(err.Error(), `calls undefined function "ghost"`) {
+		t.Errorf("Link err = %v, want undefined-function error from else branch", err)
+	}
+}
+
+func TestLinkRejectsMissingNamedEntry(t *testing.T) {
+	p := &Program{
+		Name:  "noentry",
+		Entry: "serve",
+		Funcs: map[string]*Func{
+			"main": {Body: []Stmt{Nop{}}},
+		},
+	}
+	err := Link(p)
+	want := `prog noentry: entry function "serve" not defined`
+	if err == nil || err.Error() != want {
+		t.Errorf("error = %v, want %q", err, want)
+	}
+}
+
+func TestMustLinkPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLink did not panic on a broken program")
+		}
+	}()
+	MustLink(&Program{Name: "broken", Funcs: map[string]*Func{
+		"main": {Body: []Stmt{Call{Callee: "nowhere"}}},
+	}})
+}

@@ -41,22 +41,40 @@ func RunThreads(p *Program, cfg Config, inputs [][]byte, quantum uint64) ([]*Res
 	finals := make([]outcome, n)
 	finished := make(chan int)
 
-	// Construct every interpreter before spawning any goroutine: if a
+	// Construct every executor before spawning any goroutine: if a
 	// construction fails mid-loop, no thread goroutine exists yet to be
-	// left blocked on a grant that will never come.
-	interps := make([]*Interp, n)
+	// left blocked on a grant that will never come. Under EngineVM the
+	// program is compiled once and the immutable Compiled is shared by
+	// all threads (each VM holds only its own mutable state).
+	var compiled *Compiled
+	newRunner := func() (runner, error) {
+		switch cfg.Engine {
+		case EngineTree:
+			return New(p, cfg)
+		case EngineVM:
+			if compiled == nil {
+				var err error
+				if compiled, err = Compile(p, cfg.Coder); err != nil {
+					return nil, err
+				}
+			}
+			return NewVM(compiled, cfg)
+		default:
+			return nil, fmt.Errorf("prog: unknown engine %v", cfg.Engine)
+		}
+	}
+	interps := make([]runner, n)
 	for i := 0; i < n; i++ {
-		it, err := New(p, cfg)
+		it, err := newRunner()
 		if err != nil {
 			return nil, err
 		}
 		grants[i] = make(chan struct{})
 		i := i
-		it.yieldEvery = quantum
-		it.yield = func() {
+		it.setSchedHook(quantum, func() {
 			events <- i
 			<-grants[i]
-		}
+		})
 		interps[i] = it
 	}
 	for i := 0; i < n; i++ {

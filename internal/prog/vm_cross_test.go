@@ -1,0 +1,211 @@
+package prog_test
+
+// Cross-package differential verification of the bytecode VM against
+// the tree-walking interpreter over the analysis (shadow) and defense
+// backends, driven by the Table II vulnerability corpus. These live in
+// an external test package because shadow, defense, and vuln all
+// import prog. The in-package suite (vm_test.go) covers the native
+// backend, error paths, and the zero-allocation pin.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"heaptherapy/internal/defense"
+	"heaptherapy/internal/encoding"
+	"heaptherapy/internal/mem"
+	"heaptherapy/internal/patch"
+	"heaptherapy/internal/prog"
+	"heaptherapy/internal/shadow"
+	"heaptherapy/internal/vuln"
+)
+
+// sameRun requires two executions to be observationally identical.
+func sameRun(t *testing.T, label string, tr, vr *prog.Result, terr, verr error) {
+	t.Helper()
+	if (terr != nil) != (verr != nil) {
+		t.Fatalf("%s: tree err = %v, vm err = %v", label, terr, verr)
+	}
+	if terr != nil {
+		if terr.Error() != verr.Error() {
+			t.Fatalf("%s: error mismatch\ntree: %v\nvm:   %v", label, terr, verr)
+		}
+		return
+	}
+	if !bytes.Equal(tr.Output, vr.Output) {
+		t.Errorf("%s: output mismatch\ntree: %x\nvm:   %x", label, tr.Output, vr.Output)
+	}
+	if !bytes.Equal(tr.Returned.Bytes, vr.Returned.Bytes) ||
+		!bytes.Equal(tr.Returned.Valid, vr.Returned.Valid) ||
+		!reflect.DeepEqual(tr.Returned.Origin, vr.Returned.Origin) {
+		t.Errorf("%s: returned value mismatch\ntree: %+v\nvm:   %+v", label, tr.Returned, vr.Returned)
+	}
+	if (tr.Fault != nil) != (vr.Fault != nil) {
+		t.Fatalf("%s: fault mismatch: tree %v vm %v", label, tr.Fault, vr.Fault)
+	}
+	if tr.Fault != nil && tr.Fault.Error() != vr.Fault.Error() {
+		t.Errorf("%s: fault text mismatch\ntree: %v\nvm:   %v", label, tr.Fault, vr.Fault)
+	}
+	if tr.Steps != vr.Steps || tr.Cycles != vr.Cycles || tr.InterpCycles != vr.InterpCycles ||
+		tr.EncUpdates != vr.EncUpdates || tr.Allocs != vr.Allocs || tr.Frees != vr.Frees ||
+		tr.AllocsByFn != vr.AllocsByFn {
+		t.Errorf("%s: statistics mismatch\ntree: %+v\nvm:   %+v", label, tr, vr)
+	}
+}
+
+func corpusCoder(t *testing.T, p *prog.Program) *encoding.Coder {
+	t.Helper()
+	plan, err := encoding.NewPlan(encoding.SchemeTCS, p.Graph(), p.Targets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coder, err := encoding.NewCoder(encoding.EncoderPCCE, p.Graph(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coder
+}
+
+func newShadow(t *testing.T) *shadow.Backend {
+	t.Helper()
+	space, err := mem.NewSpace(mem.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := shadow.New(space, shadow.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func newDefense(t *testing.T, patches *patch.Set) *defense.Backend {
+	t.Helper()
+	space, err := mem.NewSpace(mem.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := defense.NewBackend(space, defense.Config{Patches: patches})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestVMDifferentialShadow: under the analysis backend both engines
+// must record the exact same warning stream (type, addresses, access
+// and allocation CCIDs, detail text) for every corpus case, on benign
+// and attack inputs alike. The shadow backend observes CheckUse, so
+// this also proves the VM does not elide use checks for it.
+func TestVMDifferentialShadow(t *testing.T) {
+	for _, c := range vuln.Named() {
+		t.Run(c.Name, func(t *testing.T) {
+			coder := corpusCoder(t, c.Program)
+			inputs := append(append([][]byte{}, c.Benign...), c.Attack)
+
+			tb := newShadow(t)
+			it, err := prog.New(c.Program, prog.Config{Backend: tb, Coder: coder})
+			if err != nil {
+				t.Fatal(err)
+			}
+			compiled, err := prog.Compile(c.Program, coder)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vb := newShadow(t)
+			vm, err := prog.NewVM(compiled, prog.Config{Backend: vb, Coder: coder})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, in := range inputs {
+				tr, terr := it.Run(in)
+				vr, verr := vm.Run(in)
+				sameRun(t, c.Name, tr, vr, terr, verr)
+				_ = i
+			}
+			if tw, vw := tb.Warnings(), vb.Warnings(); !reflect.DeepEqual(tw, vw) {
+				t.Errorf("warning streams diverge\ntree: %v\nvm:   %v", tw, vw)
+			}
+			if tc, vc := tb.Cycles(), vb.Cycles(); tc != vc {
+				t.Errorf("shadow cycles: tree %d vm %d", tc, vc)
+			}
+		})
+	}
+}
+
+// TestVMDifferentialDefense closes the paper's loop with both engines:
+// analyze the attack under shadow (tree engine), turn the warnings
+// into patches, then run benign and attack inputs on patched defense
+// backends and require identical results AND identical defense
+// statistics — Lookups, PatchedAllocs, GuardPages, ZeroFills,
+// DeferredFrees, evictions, all of it. Patched sites exercise the VM's
+// patch-verdict inline caches with hits on every generation-stable
+// allocation.
+func TestVMDifferentialDefense(t *testing.T) {
+	var sawPatched bool
+	for _, c := range vuln.Named() {
+		t.Run(c.Name, func(t *testing.T) {
+			coder := corpusCoder(t, c.Program)
+
+			// Offline analysis pass on the reference engine.
+			sb := newShadow(t)
+			it, err := prog.New(c.Program, prog.Config{Backend: sb, Coder: coder})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := it.Run(c.Attack); err != nil {
+				t.Fatalf("analysis run: %v", err)
+			}
+			patches := patch.NewSet()
+			for _, w := range sb.Warnings() {
+				patches.Add(w.Patch())
+			}
+
+			inputs := append(append([][]byte{}, c.Benign...), c.Attack)
+
+			tb := newDefense(t, patches)
+			tit, err := prog.New(c.Program, prog.Config{Backend: tb, Coder: coder})
+			if err != nil {
+				t.Fatal(err)
+			}
+			compiled, err := prog.Compile(c.Program, coder)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vb := newDefense(t, patches)
+			vm, err := prog.NewVM(compiled, prog.Config{Backend: vb, Coder: coder})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, in := range inputs {
+				tr, terr := tit.Run(in)
+				vr, verr := vm.Run(in)
+				sameRun(t, c.Name, tr, vr, terr, verr)
+			}
+			ts, vs := tb.Defender().Stats(), vb.Defender().Stats()
+			if ts != vs {
+				t.Errorf("defense stats diverge\ntree: %+v\nvm:   %+v", ts, vs)
+			}
+			if tc, vc := tb.Cycles(), vb.Cycles(); tc != vc {
+				t.Errorf("defense cycles: tree %d vm %d", tc, vc)
+			}
+			if ts.PatchedAllocs > 0 {
+				sawPatched = true
+			}
+
+			// The VM's verdict inline caches must agree with the
+			// defender's own alloc-time classification.
+			var icPatched uint64
+			for _, s := range vm.SiteProfile() {
+				icPatched += s.PatchedAllocs
+			}
+			if icPatched != vs.PatchedAllocs {
+				t.Errorf("inline-cache patched count %d != defender PatchedAllocs %d", icPatched, vs.PatchedAllocs)
+			}
+		})
+	}
+	if !sawPatched {
+		t.Error("no corpus case produced a patched allocation; verdict caches untested")
+	}
+}

@@ -292,6 +292,11 @@ func (b *Backend) CheckUse(v prog.Value, use prog.UseKind, ccid uint64) {
 	b.recordUninit(tag, use, ccid, fmt.Sprintf("uninitialized value used as %s", use))
 }
 
+// ObservesUse implements prog.UseObserver: shadow analysis both charges
+// cycles and records warnings at use points, so CheckUse calls must
+// never be elided.
+func (b *Backend) ObservesUse() bool { return true }
+
 // checkMapped verifies the range lies inside the simulated space;
 // running off the mapping is a hard fault even under analysis (a real
 // process would die under Valgrind too).
