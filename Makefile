@@ -2,10 +2,15 @@ GO ?= go
 PKGS := ./...
 # Packages with concurrent components (interpreter threads, defended
 # allocator under concurrency, the parallel fleet runtime) that the
-# race detector must cover.
-RACE_PKGS := ./internal/defense/ ./internal/prog/ ./internal/fleet/
+# race detector must cover, plus the campaign harness whose matrix
+# replays cross all of them.
+RACE_PKGS := ./internal/defense/ ./internal/prog/ ./internal/fleet/ ./internal/campaign/
+# Packages whose statement coverage is gated in CI: the allocator the
+# campaign walker audits and the campaign rig itself.
+COVER_GATE_PKGS := ./internal/heapsim/ ./internal/campaign/
+COVER_MIN := 80
 
-.PHONY: all build test race vet fmt-check bench bench-json bench-fleet bench-vm bench-smoke check
+.PHONY: all build test race vet fmt-check bench bench-json bench-fleet bench-vm bench-smoke check cover corpus fuzz-smoke
 
 all: check
 
@@ -16,7 +21,7 @@ test:
 	$(GO) test $(PKGS)
 
 race:
-	$(GO) test -race $(RACE_PKGS)
+	$(GO) test -race -timeout 15m $(RACE_PKGS)
 
 vet:
 	$(GO) vet $(PKGS)
@@ -54,4 +59,29 @@ bench-vm:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x $(PKGS)
 
-check: build vet fmt-check test race
+# Coverage gate: each package in COVER_GATE_PKGS must hold at least
+# COVER_MIN% statement coverage.
+cover:
+	@fail=0; \
+	for pkg in $(COVER_GATE_PKGS); do \
+		pct=$$($(GO) test -cover $$pkg | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "$$pkg: no coverage reported"; fail=1; continue; fi; \
+		ok=$$(echo "$$pct $(COVER_MIN)" | awk '{print ($$1 >= $$2) ? 1 : 0}'); \
+		if [ "$$ok" = 1 ]; then \
+			echo "$$pkg: $$pct% (>= $(COVER_MIN)%)"; \
+		else \
+			echo "$$pkg: $$pct% BELOW the $(COVER_MIN)% gate"; fail=1; \
+		fi; \
+	done; exit $$fail
+
+# Regenerate the golden campaign corpus after an intentional generator
+# change (TestCorpusMatchesGenerator pins it).
+corpus:
+	$(GO) run ./cmd/htp-fuzz -emit-corpus testdata/campaign -seeds 20
+
+# Short native-fuzzing shake of the campaign generator and reducer.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzGenerate -fuzztime 10s ./internal/campaign/
+	$(GO) test -run '^$$' -fuzz FuzzReduce -fuzztime 10s ./internal/campaign/
+
+check: build vet fmt-check test race cover

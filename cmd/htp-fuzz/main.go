@@ -1,0 +1,292 @@
+// Command htp-fuzz runs the generative campaign: seeded random
+// programs with injected heap vulnerabilities, each driven through
+// the full differential matrix (tree-walker vs VM engine, boundary-
+// tag heap vs pool allocator, native vs shadow-analyzed vs defended)
+// with the heap-invariant walker attached, and every cell checked
+// against the injected ground truth.
+//
+//	htp-fuzz -seeds 1000                    # campaign over seeds 0..999
+//	htp-fuzz -start 5000 -seeds 100 -json   # JSON report on stdout
+//	htp-fuzz -kinds uaf-read,double-free    # restrict vulnerability kinds
+//	htp-fuzz -reduce                        # minimize any failing program
+//	htp-fuzz -emit-corpus testdata/campaign -seeds 20
+package main
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"heaptherapy/internal/campaign"
+	"heaptherapy/internal/prog"
+	"heaptherapy/internal/progtext"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// report is the machine-readable campaign summary.
+type report struct {
+	Start    uint64             `json:"start"`
+	Seeds    uint64             `json:"seeds"`
+	Kinds    []string           `json:"kinds"`
+	Engines  []string           `json:"engines"`
+	Allocs   []string           `json:"allocators"`
+	Cases    int                `json:"cases"`
+	ByKind   map[string]int     `json:"by_kind"`
+	Failed   int                `json:"failed"`
+	Failures []campaign.Failure `json:"failures,omitempty"`
+	Reduced  []reducedCase      `json:"reduced,omitempty"`
+	Ms       int64              `json:"duration_ms"`
+}
+
+type reducedCase struct {
+	Seed       uint64 `json:"seed"`
+	Kind       string `json:"kind"`
+	Class      string `json:"class"`
+	Statements int    `json:"statements"`
+	Source     string `json:"source"`
+}
+
+// manifestEntry describes one emitted corpus case.
+type manifestEntry struct {
+	Seed     uint64 `json:"seed"`
+	Kind     string `json:"kind"`
+	File     string `json:"file"`
+	Benign   string `json:"benign"`
+	Attack   string `json:"attack"`
+	Secret   string `json:"secret,omitempty"`
+	Sentinel string `json:"sentinel,omitempty"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("htp-fuzz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		seeds      = fs.Uint64("seeds", 100, "number of seeds to campaign over")
+		start      = fs.Uint64("start", 0, "first seed")
+		kindsFlag  = fs.String("kinds", "", "comma-separated vulnerability kinds (default: all)")
+		engines    = fs.String("engines", "", "comma-separated engines: tree,vm (default: all)")
+		allocs     = fs.String("allocators", "", "comma-separated allocators: heap,pool (default: all)")
+		jsonOut    = fs.Bool("json", false, "emit a JSON report on stdout")
+		reduce     = fs.Bool("reduce", false, "minimize each failing program and include it in the report")
+		emitCorpus = fs.String("emit-corpus", "", "write generated programs and a manifest into this directory instead of running the oracle")
+		maxFail    = fs.Int("max-failures", 20, "stop after this many failing seeds (0 = never)")
+		verbose    = fs.Bool("v", false, "log each seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var cfg campaign.GenConfig
+	if *kindsFlag != "" {
+		for _, name := range strings.Split(*kindsFlag, ",") {
+			k, err := campaign.ParseKind(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+			cfg.Kinds = append(cfg.Kinds, k)
+		}
+	}
+	oracle := campaign.Oracle{}
+	if *engines != "" {
+		for _, name := range strings.Split(*engines, ",") {
+			switch strings.TrimSpace(name) {
+			case "tree":
+				oracle.Engines = append(oracle.Engines, prog.EngineTree)
+			case "vm":
+				oracle.Engines = append(oracle.Engines, prog.EngineVM)
+			default:
+				fmt.Fprintf(stderr, "unknown engine %q (want tree or vm)\n", name)
+				return 2
+			}
+		}
+	}
+	if *allocs != "" {
+		for _, name := range strings.Split(*allocs, ",") {
+			switch strings.TrimSpace(name) {
+			case "heap":
+				oracle.Allocators = append(oracle.Allocators, campaign.AllocHeap)
+			case "pool":
+				oracle.Allocators = append(oracle.Allocators, campaign.AllocPool)
+			default:
+				fmt.Fprintf(stderr, "unknown allocator %q (want heap or pool)\n", name)
+				return 2
+			}
+		}
+	}
+
+	if *emitCorpus != "" {
+		if err := emit(*emitCorpus, *start, *seeds, cfg); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %d cases to %s\n", *seeds, *emitCorpus)
+		return 0
+	}
+
+	began := time.Now()
+	rep := &report{Start: *start, Seeds: *seeds, ByKind: map[string]int{}}
+	for _, k := range cfg.Kinds {
+		rep.Kinds = append(rep.Kinds, k.String())
+	}
+	failedSeeds := 0
+	for seed := *start; seed < *start+*seeds; seed++ {
+		g, err := campaign.Generate(seed, cfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "seed %d: %v\n", seed, err)
+			return 1
+		}
+		res := oracle.Check(g)
+		rep.Cases++
+		rep.ByKind[g.Kind.String()]++
+		if *verbose {
+			status := "ok"
+			if !res.OK() {
+				status = fmt.Sprintf("FAIL (%d)", len(res.Failures))
+			}
+			fmt.Fprintf(stderr, "seed %d %v: %s\n", seed, g.Kind, status)
+		}
+		if res.OK() {
+			continue
+		}
+		failedSeeds++
+		rep.Failed++
+		rep.Failures = append(rep.Failures, res.Failures...)
+		if *reduce {
+			rep.Reduced = append(rep.Reduced, minimize(g, oracle, res))
+		}
+		if *maxFail > 0 && failedSeeds >= *maxFail {
+			fmt.Fprintf(stderr, "stopping after %d failing seeds\n", failedSeeds)
+			break
+		}
+	}
+	rep.Ms = time.Since(began).Milliseconds()
+	for _, e := range oracleEngines(oracle) {
+		rep.Engines = append(rep.Engines, e.String())
+	}
+	for _, a := range oracleAllocs(oracle) {
+		rep.Allocs = append(rep.Allocs, a.String())
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	} else {
+		summarize(stdout, rep)
+	}
+	if rep.Failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+func oracleEngines(o campaign.Oracle) []prog.Engine {
+	if len(o.Engines) > 0 {
+		return o.Engines
+	}
+	return prog.AllEngines()
+}
+
+func oracleAllocs(o campaign.Oracle) []campaign.AllocKind {
+	if len(o.Allocators) > 0 {
+		return o.Allocators
+	}
+	return campaign.AllAllocators()
+}
+
+// minimize shrinks a failing case while its oracle verdict keeps the
+// same leading failure class, and packages the witness.
+func minimize(g *campaign.Generated, oracle campaign.Oracle, res *campaign.Report) reducedCase {
+	class := res.Failures[0].Class
+	stillFails := func(p *prog.Program) bool {
+		cand := *g
+		cand.Program = p
+		r := oracle.Check(&cand)
+		for _, f := range r.Failures {
+			if f.Class == class {
+				return true
+			}
+		}
+		return false
+	}
+	reduced := campaign.Reduce(g.Program, stillFails, 0)
+	return reducedCase{
+		Seed:       g.Seed,
+		Kind:       g.Kind.String(),
+		Class:      class,
+		Statements: campaign.CountStatements(reduced),
+		Source:     progtext.Print(reduced),
+	}
+}
+
+func summarize(w io.Writer, rep *report) {
+	fmt.Fprintf(w, "htp-fuzz: %d cases (seeds %d..%d) in %dms\n",
+		rep.Cases, rep.Start, rep.Start+rep.Seeds-1, rep.Ms)
+	kinds := make([]string, 0, len(rep.ByKind))
+	for k := range rep.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(w, "  %-16s %d\n", k, rep.ByKind[k])
+	}
+	if rep.Failed == 0 {
+		fmt.Fprintf(w, "all %d cases passed the differential oracle\n", rep.Cases)
+		return
+	}
+	fmt.Fprintf(w, "%d FAILING seeds, %d assertion failures:\n", rep.Failed, len(rep.Failures))
+	for _, f := range rep.Failures {
+		fmt.Fprintf(w, "  seed %d (%s) [%s @ %s]: %s\n", f.Seed, f.Kind, f.Class, f.Cell, f.Detail)
+	}
+	for _, r := range rep.Reduced {
+		fmt.Fprintf(w, "reduced witness for seed %d (%s, %d statements):\n%s\n",
+			r.Seed, r.Class, r.Statements, r.Source)
+	}
+}
+
+// emit writes seed-<n>.htp sources plus inputs and ground truth into
+// dir as a replayable golden corpus.
+func emit(dir string, start, count uint64, cfg campaign.GenConfig) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var manifest []manifestEntry
+	for seed := start; seed < start+count; seed++ {
+		g, err := campaign.Generate(seed, cfg)
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("seed-%d.htp", seed)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(g.Source), 0o644); err != nil {
+			return err
+		}
+		manifest = append(manifest, manifestEntry{
+			Seed:     seed,
+			Kind:     g.Kind.String(),
+			File:     name,
+			Benign:   hex.EncodeToString(g.Benign),
+			Attack:   hex.EncodeToString(g.Attack),
+			Secret:   hex.EncodeToString(g.Secret),
+			Sentinel: hex.EncodeToString(g.Sentinel),
+		})
+	}
+	data, err := json.MarshalIndent(manifest, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "manifest.json"), append(data, '\n'), 0o644)
+}

@@ -1,0 +1,116 @@
+package campaign
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"heaptherapy/internal/progtext"
+)
+
+const corpusDir = "../../testdata/campaign"
+
+// corpusEntry mirrors the htp-fuzz manifest schema.
+type corpusEntry struct {
+	Seed     uint64 `json:"seed"`
+	Kind     string `json:"kind"`
+	File     string `json:"file"`
+	Benign   string `json:"benign"`
+	Attack   string `json:"attack"`
+	Secret   string `json:"secret"`
+	Sentinel string `json:"sentinel"`
+}
+
+func loadCorpus(t *testing.T) []corpusEntry {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(corpusDir, "manifest.json"))
+	if err != nil {
+		t.Fatalf("reading corpus manifest (regenerate with `make corpus`): %v", err)
+	}
+	var entries []corpusEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 15 {
+		t.Fatalf("corpus has only %d entries", len(entries))
+	}
+	return entries
+}
+
+func unhex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) == 0 {
+		return nil
+	}
+	return b
+}
+
+// TestCorpusMatchesGenerator: the checked-in corpus must be exactly
+// what the current generator emits — any intentional generator change
+// must be accompanied by `make corpus`, making drift reviewable.
+func TestCorpusMatchesGenerator(t *testing.T) {
+	for _, e := range loadCorpus(t) {
+		src, err := os.ReadFile(filepath.Join(corpusDir, e.File))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := Generate(e.Seed, GenConfig{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", e.Seed, err)
+		}
+		if g.Source != string(src) {
+			t.Errorf("seed %d: generator drifted from checked-in corpus (run `make corpus` if intentional)", e.Seed)
+		}
+		if g.Kind.String() != e.Kind {
+			t.Errorf("seed %d: kind %v, manifest says %s", e.Seed, g.Kind, e.Kind)
+		}
+		if hex.EncodeToString(g.Benign) != e.Benign || hex.EncodeToString(g.Attack) != e.Attack {
+			t.Errorf("seed %d: inputs drifted from manifest", e.Seed)
+		}
+	}
+}
+
+// TestCorpusReplay rebuilds each case purely from disk — source,
+// inputs, and ground truth out of the manifest, no generator involved
+// — and replays it through the full differential oracle.
+func TestCorpusReplay(t *testing.T) {
+	o := Oracle{}
+	entries := loadCorpus(t)
+	if raceEnabled && len(entries) > 6 {
+		entries = entries[:6]
+	}
+	for _, e := range entries {
+		src, err := os.ReadFile(filepath.Join(corpusDir, e.File))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := progtext.Parse(string(src))
+		if err != nil {
+			t.Fatalf("seed %d: %v", e.Seed, err)
+		}
+		kind, err := ParseKind(e.Kind)
+		if err != nil {
+			t.Fatalf("seed %d: %v", e.Seed, err)
+		}
+		g := &Generated{
+			Seed:     e.Seed,
+			Kind:     kind,
+			Program:  p,
+			Source:   string(src),
+			Benign:   unhex(t, e.Benign),
+			Attack:   unhex(t, e.Attack),
+			Secret:   unhex(t, e.Secret),
+			Sentinel: unhex(t, e.Sentinel),
+		}
+		rep := o.Check(g)
+		for _, f := range rep.Failures {
+			t.Errorf("seed %d (%s) [%s @ %s]: %s", e.Seed, e.Kind, f.Class, f.Cell, f.Detail)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package campaign
+
+import (
+	"testing"
+
+	"heaptherapy/internal/prog"
+	"heaptherapy/internal/progtext"
+)
+
+// FuzzGenerate drives the generator over arbitrary seeds: generation
+// must always succeed, stay deterministic, and emit canonical
+// progtext.
+func FuzzGenerate(f *testing.F) {
+	for seed := uint64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		g, err := Generate(seed, GenConfig{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if progtext.Print(g.Program) != g.Source {
+			t.Fatalf("seed %d: generated source is not canonical", seed)
+		}
+		again, err := Generate(seed, GenConfig{})
+		if err != nil || again.Source != g.Source {
+			t.Fatalf("seed %d: regeneration diverged (%v)", seed, err)
+		}
+	})
+}
+
+// FuzzOracle runs the full differential matrix per fuzzed seed: any
+// assertion failure on a healthy pipeline is a real bug in generator,
+// engines, allocators, shadow analysis, or defense.
+func FuzzOracle(f *testing.F) {
+	for seed := uint64(0); seed < 4; seed++ {
+		f.Add(seed)
+	}
+	o := Oracle{}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		g, err := Generate(seed, GenConfig{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		rep := o.Check(g)
+		for _, fl := range rep.Failures {
+			t.Errorf("seed %d (%v) [%s @ %s]: %s", seed, g.Kind, fl.Class, fl.Cell, fl.Detail)
+		}
+	})
+}
+
+// FuzzReduce checks the reducer's contract on arbitrary seeds: with a
+// never-failing predicate the program comes back whole; with a
+// size-based predicate reduction terminates and preserves it.
+func FuzzReduce(f *testing.F) {
+	for seed := uint64(0); seed < 4; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		g, err := Generate(seed, GenConfig{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		before := CountStatements(g.Program)
+		kept := Reduce(g.Program, func(*prog.Program) bool { return false }, 2)
+		if CountStatements(kept) != before {
+			t.Fatalf("seed %d: non-failing program shrank", seed)
+		}
+	})
+}

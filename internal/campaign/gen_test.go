@@ -1,0 +1,94 @@
+package campaign
+
+import (
+	"bytes"
+	"testing"
+
+	"heaptherapy/internal/progtext"
+)
+
+// TestGenerateDeterministic: the same seed must reproduce the case
+// bit for bit — the whole campaign protocol (replay, reduction, CI
+// smoke) rests on this.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		a, err := Generate(seed, GenConfig{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		b, err := Generate(seed, GenConfig{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if a.Source != b.Source {
+			t.Fatalf("seed %d: sources differ", seed)
+		}
+		if !bytes.Equal(a.Benign, b.Benign) || !bytes.Equal(a.Attack, b.Attack) {
+			t.Fatalf("seed %d: inputs differ", seed)
+		}
+		if a.Kind != b.Kind {
+			t.Fatalf("seed %d: kinds differ: %v vs %v", seed, a.Kind, b.Kind)
+		}
+	}
+}
+
+// TestGenerateAllKinds: restricting the kind set must be honored, and
+// the ground-truth payloads must match the kind's character.
+func TestGenerateAllKinds(t *testing.T) {
+	for _, kind := range AllKinds() {
+		for seed := uint64(0); seed < 5; seed++ {
+			g, err := Generate(seed, GenConfig{Kinds: []VulnKind{kind}})
+			if err != nil {
+				t.Fatalf("%v seed %d: %v", kind, seed, err)
+			}
+			if g.Kind != kind {
+				t.Fatalf("%v seed %d: got kind %v", kind, seed, g.Kind)
+			}
+			if kind.Leaky() != (g.Secret != nil) {
+				t.Errorf("%v: secret presence %v, want %v", kind, g.Secret != nil, kind.Leaky())
+			}
+			if kind.Clobbering() != (g.Sentinel != nil) {
+				t.Errorf("%v: sentinel presence %v, want %v", kind, g.Sentinel != nil, kind.Clobbering())
+			}
+			if len(g.Benign) == 0 || len(g.Attack) == 0 {
+				t.Errorf("%v seed %d: empty input", kind, seed)
+			}
+			if g.Benign[0] == g.Attack[0] {
+				t.Errorf("%v seed %d: benign and attack headers coincide", kind, seed)
+			}
+		}
+	}
+}
+
+// TestGenerateRoundTrip: the generated program is canonical progtext —
+// printing the parsed program must reproduce Source exactly.
+func TestGenerateRoundTrip(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		g, err := Generate(seed, GenConfig{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if printed := progtext.Print(g.Program); printed != g.Source {
+			t.Fatalf("seed %d: print(parse(src)) != src\n--- src ---\n%s\n--- printed ---\n%s", seed, g.Source, printed)
+		}
+	}
+}
+
+// TestParseKind round-trips every kind name and rejects junk.
+func TestParseKind(t *testing.T) {
+	for _, k := range AllKinds() {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("heap-spray"); err == nil {
+		t.Error("ParseKind accepted an unknown kind")
+	}
+	if s := VulnKind(200).String(); s != "VulnKind(200)" {
+		t.Errorf("unknown kind String() = %q", s)
+	}
+	if VulnKind(200).GroundTruth() != 0 {
+		t.Error("unknown kind has a ground truth")
+	}
+}

@@ -1,0 +1,82 @@
+package campaign
+
+import (
+	"fmt"
+
+	"heaptherapy/internal/heapsim"
+	"heaptherapy/internal/mem"
+	"heaptherapy/internal/prog"
+)
+
+// integrityChecker is satisfied by both heapsim.Heap and
+// heapsim.PoolAllocator.
+type integrityChecker interface {
+	CheckIntegrity() error
+}
+
+// Walker audits allocator and page-table invariants between
+// interpreter quanta. It records the first violation it sees (later
+// checks on an already-corrupt heap would just echo the same damage)
+// and keeps running, so the oracle can attribute the violation to a
+// matrix cell after the run completes.
+type Walker struct {
+	space     *mem.Space
+	under     integrityChecker
+	violation error
+	checks    uint64
+}
+
+// NewWalker builds a walker over the given space and allocator. The
+// allocator may be nil (page audit only) and need not support
+// integrity checking.
+func NewWalker(space *mem.Space, under heapsim.Allocator) *Walker {
+	w := &Walker{space: space}
+	if ic, ok := under.(integrityChecker); ok {
+		w.under = ic
+	}
+	return w
+}
+
+// Check runs one audit pass: allocator integrity first (panics inside
+// the checker — e.g. a clobbered chunk header tripping a load guard —
+// are converted to violations), then the page-state audit. The first
+// violation is latched.
+func (w *Walker) Check() {
+	w.checks++
+	if w.violation != nil {
+		return
+	}
+	if w.under != nil {
+		if err := w.safeIntegrity(); err != nil {
+			w.violation = err
+			return
+		}
+	}
+	if w.space != nil {
+		if err := w.space.Audit(); err != nil {
+			w.violation = err
+		}
+	}
+}
+
+func (w *Walker) safeIntegrity() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("campaign: integrity check panicked: %v", r)
+		}
+	}()
+	return w.under.CheckIntegrity()
+}
+
+// Attach installs the walker as the execution's quantum hook, firing
+// every `every` statements. Returns false if the Exec does not expose
+// a scheduling seam.
+func (w *Walker) Attach(ex prog.Exec, every uint64) bool {
+	return prog.SetQuantumHook(ex, every, w.Check)
+}
+
+// Violation returns the first invariant violation seen, or nil.
+func (w *Walker) Violation() error { return w.violation }
+
+// Checks returns how many audit passes have run.
+func (w *Walker) Checks() uint64 { return w.checks }

@@ -1,0 +1,187 @@
+package campaign
+
+import (
+	"testing"
+
+	"heaptherapy/internal/heapsim"
+	"heaptherapy/internal/mem"
+	"heaptherapy/internal/prog"
+)
+
+// shortHeap is the deliberately injected allocator bug: it silently
+// under-allocates by 8 bytes, so a caller's full-size write tramples
+// the next chunk's header. The arena is established lazily (first
+// allocation) so the defended cells' patch table can map first, the
+// same discipline a real constructor-ordered library follows.
+type shortHeap struct {
+	space *mem.Space
+	heap  *heapsim.Heap
+}
+
+func (s *shortHeap) lazy() (*heapsim.Heap, error) {
+	if s.heap == nil {
+		h, err := heapsim.New(s.space)
+		if err != nil {
+			return nil, err
+		}
+		s.heap = h
+	}
+	return s.heap, nil
+}
+
+func (s *shortHeap) mangle(size uint64) uint64 {
+	if size >= 24 {
+		return size - 8
+	}
+	return size
+}
+
+func (s *shortHeap) Malloc(size uint64) (uint64, error) {
+	h, err := s.lazy()
+	if err != nil {
+		return 0, err
+	}
+	return h.Malloc(s.mangle(size))
+}
+
+func (s *shortHeap) Calloc(n, size uint64) (uint64, error) {
+	h, err := s.lazy()
+	if err != nil {
+		return 0, err
+	}
+	return h.Calloc(1, s.mangle(n*size))
+}
+
+func (s *shortHeap) Realloc(ptr, size uint64) (uint64, error) {
+	h, err := s.lazy()
+	if err != nil {
+		return 0, err
+	}
+	return h.Realloc(ptr, s.mangle(size))
+}
+
+func (s *shortHeap) Memalign(align, size uint64) (uint64, error) {
+	h, err := s.lazy()
+	if err != nil {
+		return 0, err
+	}
+	return h.Memalign(align, s.mangle(size))
+}
+
+func (s *shortHeap) Free(ptr uint64) error {
+	h, err := s.lazy()
+	if err != nil {
+		return err
+	}
+	return h.Free(ptr)
+}
+
+func (s *shortHeap) UsableSize(ptr uint64) (uint64, error) {
+	h, err := s.lazy()
+	if err != nil {
+		return 0, err
+	}
+	return h.UsableSize(ptr)
+}
+
+// CheckIntegrity exposes the real heap's walker so the campaign
+// walker audits the genuine metadata.
+func (s *shortHeap) CheckIntegrity() error {
+	if s.heap == nil {
+		return nil
+	}
+	return s.heap.CheckIntegrity()
+}
+
+// failsUnderShortHeap runs p over the buggy allocator with the
+// invariant walker attached and reports whether the bug manifested
+// (walker violation or allocator panic).
+func failsUnderShortHeap(p *prog.Program, input []byte) bool {
+	space, err := mem.NewSpace(mem.Config{})
+	if err != nil {
+		return false
+	}
+	sh := &shortHeap{space: space}
+	backend, err := prog.NewNativeBackendWithAllocator(space, sh)
+	if err != nil {
+		return false
+	}
+	ex, err := prog.NewExec(p, prog.Config{Backend: backend, MaxSteps: 1 << 20})
+	if err != nil {
+		return false
+	}
+	w := NewWalker(space, sh)
+	w.Attach(ex, 16)
+	panicked := false
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked = true
+			}
+		}()
+		ex.Run(input)
+	}()
+	w.Check()
+	return panicked || w.Violation() != nil
+}
+
+// TestMutationCaughtByOracle slides the buggy allocator under the
+// full matrix: the rig must flag the corruption it causes. This is
+// the harness's own acceptance test — if a silently under-allocating
+// heap survives the oracle, the oracle is decorative.
+func TestMutationCaughtByOracle(t *testing.T) {
+	o := Oracle{
+		AllocatorFor: func(kind AllocKind, space *mem.Space) (heapsim.Allocator, error) {
+			if kind == AllocHeap {
+				return &shortHeap{space: space}, nil
+			}
+			return heapsim.NewPool(space)
+		},
+	}
+	caught := false
+	for seed := uint64(0); seed < 50 && !caught; seed++ {
+		g, err := Generate(seed, GenConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		caught = !o.Check(g).OK()
+	}
+	if !caught {
+		t.Fatal("oracle passed 50 seeds over an under-allocating heap")
+	}
+}
+
+// TestMutationCaughtAndReduced: the walker alone must catch the bug on
+// a generated program, and the reducer must shrink the witness to a
+// handful of statements while the walker still fires on it.
+func TestMutationCaughtAndReduced(t *testing.T) {
+	if raceEnabled {
+		// The scan+reduce loop is strictly single-goroutine, so the
+		// race detector adds minutes of slowdown and zero coverage.
+		t.Skip("single-goroutine reduction loop; skipped under -race")
+	}
+	var g *Generated
+	for seed := uint64(0); seed < 50; seed++ {
+		c, err := Generate(seed, GenConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if failsUnderShortHeap(c.Program, c.Benign) {
+			g = c
+			break
+		}
+	}
+	if g == nil {
+		t.Fatal("walker never fired over the buggy allocator in 50 seeds")
+	}
+	fails := func(p *prog.Program) bool { return failsUnderShortHeap(p, g.Benign) }
+	reduced := Reduce(g.Program, fails, 0)
+	n := CountStatements(reduced)
+	if !fails(reduced) {
+		t.Fatal("reduced witness no longer trips the walker")
+	}
+	if n > 15 {
+		t.Fatalf("reduced witness has %d statements, want <= 15 (seed %d)", n, g.Seed)
+	}
+	t.Logf("seed %d: reduced to %d statements", g.Seed, n)
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package campaign
+
+// raceEnabled lets tests scale their seed counts down under the race
+// detector, whose 5-20x slowdown would otherwise push the full matrix
+// past CI timeouts on small runners. Every code path still runs raced
+// — only the repetition count shrinks.
+const raceEnabled = true

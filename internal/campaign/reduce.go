@@ -1,0 +1,242 @@
+package campaign
+
+import (
+	"heaptherapy/internal/prog"
+)
+
+// Reduce shrinks a failing program while preserving its failure
+// signature: stillFails must return true iff the candidate still
+// exhibits the failure being minimized (it receives a freshly linked
+// program and must not retain it). Reduction is greedy
+// delta-debugging over single statements — remove a statement, or
+// unwrap an If/While into its body — iterated to a fixpoint or
+// maxRounds (0 = until fixpoint).
+//
+// The input program is never mutated; the returned program is a
+// linked deep copy. If the input does not fail under stillFails it is
+// returned (as a copy) unchanged.
+func Reduce(p *prog.Program, stillFails func(*prog.Program) bool, maxRounds int) *prog.Program {
+	best := cloneProgram(p)
+	if err := prog.Link(best); err != nil {
+		return best
+	}
+	if !stillFails(best) {
+		return best
+	}
+	for round := 0; maxRounds == 0 || round < maxRounds; round++ {
+		shrunk := false
+		// Enumerate edits fresh each pass, in reverse program order so
+		// applying one keeps the remaining (earlier) paths valid.
+		for _, e := range reverseEdits(best) {
+			cand := cloneProgram(best)
+			if !applyEdit(cand, e) {
+				continue
+			}
+			if err := prog.Link(cand); err != nil {
+				continue // edit broke the program structurally; skip
+			}
+			if stillFails(cand) {
+				best = cand
+				shrunk = true
+			}
+		}
+		if !shrunk {
+			break
+		}
+	}
+	return best
+}
+
+// CountStatements counts statements recursively across all functions.
+func CountStatements(p *prog.Program) int {
+	n := 0
+	for _, f := range p.Funcs {
+		n += countBlock(f.Body)
+	}
+	return n
+}
+
+func countBlock(b []prog.Stmt) int {
+	n := 0
+	for _, s := range b {
+		n++
+		switch s := s.(type) {
+		case prog.If:
+			n += countBlock(s.Then) + countBlock(s.Else)
+		case prog.While:
+			n += countBlock(s.Body)
+		}
+	}
+	return n
+}
+
+// edit addresses one statement by function name and index path into
+// nested blocks (even path elements index statements; on If nodes the
+// branch is encoded by the next element's block selector).
+type edit struct {
+	fn   string
+	path []blockStep
+	kind editKind
+}
+
+type editKind uint8
+
+const (
+	editRemove editKind = iota
+	editUnwrap          // replace If/While with its (Then/Body) block
+)
+
+// blockStep is one hop: the statement index in the current block,
+// and — when further steps follow — which sub-block of that statement
+// to descend into (0 = If.Then or While.Body, 1 = If.Else).
+type blockStep struct {
+	idx int
+	sel int
+}
+
+// reverseEdits enumerates candidate edits deepest-and-last first, so
+// greedy application within one pass never invalidates a later
+// (earlier-positioned) edit's path prefix... except when an ancestor
+// is removed first, which applyEdit detects and skips via bounds
+// checks.
+func reverseEdits(p *prog.Program) []edit {
+	var out []edit
+	for name, f := range p.Funcs {
+		collectEdits(name, f.Body, nil, &out)
+	}
+	// collectEdits appends children before parents and later indices
+	// before earlier ones, per function; cross-function order does not
+	// matter for validity.
+	return out
+}
+
+func collectEdits(fn string, b []prog.Stmt, prefix []blockStep, out *[]edit) {
+	for i := len(b) - 1; i >= 0; i-- {
+		path := append(append([]blockStep{}, prefix...), blockStep{idx: i})
+		withSel := func(sel int) []blockStep {
+			p := append([]blockStep{}, path...)
+			p[len(p)-1].sel = sel
+			return p
+		}
+		switch s := b[i].(type) {
+		case prog.If:
+			collectEdits(fn, s.Then, withSel(0), out)
+			collectEdits(fn, s.Else, withSel(1), out)
+			*out = append(*out, edit{fn: fn, path: path, kind: editUnwrap})
+		case prog.While:
+			collectEdits(fn, s.Body, withSel(0), out)
+			*out = append(*out, edit{fn: fn, path: path, kind: editUnwrap})
+		case prog.Return:
+			// Keep returns: removing one rarely shrinks meaningfully and
+			// often just shifts the failure to "fell off function end".
+			continue
+		}
+		*out = append(*out, edit{fn: fn, path: path, kind: editRemove})
+	}
+}
+
+// applyEdit performs the edit on a fresh clone. Returns false if the
+// path no longer resolves (an enclosing statement was already edited
+// away) or the edit is a no-op.
+func applyEdit(p *prog.Program, e edit) bool {
+	f, ok := p.Funcs[e.fn]
+	if !ok {
+		return false
+	}
+	newBody, ok := editBlock(f.Body, e.path, e.kind)
+	if !ok {
+		return false
+	}
+	f.Body = newBody
+	return true
+}
+
+func editBlock(b []prog.Stmt, path []blockStep, kind editKind) ([]prog.Stmt, bool) {
+	step := path[0]
+	if step.idx < 0 || step.idx >= len(b) {
+		return nil, false
+	}
+	if len(path) == 1 {
+		switch kind {
+		case editRemove:
+			out := append(append([]prog.Stmt{}, b[:step.idx]...), b[step.idx+1:]...)
+			return out, true
+		case editUnwrap:
+			var inner []prog.Stmt
+			switch s := b[step.idx].(type) {
+			case prog.If:
+				inner = s.Then
+			case prog.While:
+				inner = s.Body
+			default:
+				return nil, false
+			}
+			out := append(append([]prog.Stmt{}, b[:step.idx]...), inner...)
+			out = append(out, b[step.idx+1:]...)
+			return out, true
+		}
+		return nil, false
+	}
+	// Descend into the selected sub-block of the statement at idx.
+	switch s := b[step.idx].(type) {
+	case prog.If:
+		if step.sel == 0 {
+			nb, ok := editBlock(s.Then, path[1:], kind)
+			if !ok {
+				return nil, false
+			}
+			s.Then = nb
+			b[step.idx] = s
+		} else {
+			nb, ok := editBlock(s.Else, path[1:], kind)
+			if !ok {
+				return nil, false
+			}
+			s.Else = nb
+			b[step.idx] = s
+		}
+		return b, true
+	case prog.While:
+		nb, ok := editBlock(s.Body, path[1:], kind)
+		if !ok {
+			return nil, false
+		}
+		s.Body = nb
+		b[step.idx] = s
+		return b, true
+	default:
+		return nil, false
+	}
+}
+
+// cloneProgram deep-copies the program's statement structure.
+// Expressions and byte payloads are immutable in practice and shared.
+func cloneProgram(p *prog.Program) *prog.Program {
+	out := &prog.Program{Name: p.Name, Entry: p.Entry, Funcs: map[string]*prog.Func{}}
+	for name, f := range p.Funcs {
+		out.Funcs[name] = &prog.Func{
+			Name:   f.Name,
+			Params: append([]string{}, f.Params...),
+			Body:   cloneBlock(f.Body),
+		}
+	}
+	return out
+}
+
+func cloneBlock(b []prog.Stmt) []prog.Stmt {
+	out := make([]prog.Stmt, len(b))
+	for i, s := range b {
+		switch s := s.(type) {
+		case prog.If:
+			s.Then = cloneBlock(s.Then)
+			s.Else = cloneBlock(s.Else)
+			out[i] = s
+		case prog.While:
+			s.Body = cloneBlock(s.Body)
+			out[i] = s
+		default:
+			out[i] = s
+		}
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package campaign
+
+import (
+	"bytes"
+	"testing"
+
+	"heaptherapy/internal/mem"
+	"heaptherapy/internal/prog"
+)
+
+// runNativeHeap executes p over a fresh boundary-tag heap, converting
+// panics into a flag so reduction predicates can treat "crashed" as a
+// signature.
+func runNativeHeap(p *prog.Program, input []byte) (res *prog.Result, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+		}
+	}()
+	space, err := mem.NewSpace(mem.Config{})
+	if err != nil {
+		return nil, false
+	}
+	backend, err := prog.NewNativeBackend(space)
+	if err != nil {
+		return nil, false
+	}
+	ex, err := prog.NewExec(p, prog.Config{Backend: backend, MaxSteps: 1 << 20})
+	if err != nil {
+		return nil, false
+	}
+	res, err = ex.Run(input)
+	if err != nil {
+		return nil, false
+	}
+	return res, false
+}
+
+// TestReduceShrinksLeak: an overflow-read case minimizes down to its
+// essential gadget — the failure signature (secret bytes in native
+// output) must survive reduction, and the survivor must be small.
+func TestReduceShrinksLeak(t *testing.T) {
+	g, err := Generate(3, GenConfig{Kinds: []VulnKind{OverflowRead}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaks := func(p *prog.Program) bool {
+		res, panicked := runNativeHeap(p, g.Attack)
+		return !panicked && res != nil && bytes.Contains(res.Output, g.Secret)
+	}
+	if !leaks(g.Program) {
+		t.Fatal("unreduced program does not leak")
+	}
+	before := CountStatements(g.Program)
+	reduced := Reduce(g.Program, leaks, 0)
+	after := CountStatements(reduced)
+	if !leaks(reduced) {
+		t.Fatal("reduced program lost the failure signature")
+	}
+	if after >= before {
+		t.Fatalf("no reduction: %d -> %d statements", before, after)
+	}
+	if after > 15 {
+		t.Fatalf("reduced program still has %d statements (want <= 15)", after)
+	}
+	// The original must be untouched.
+	if CountStatements(g.Program) != before {
+		t.Fatal("Reduce mutated its input")
+	}
+}
+
+// TestReduceNonFailing: a predicate that never fires returns the
+// program unshrunk.
+func TestReduceNonFailing(t *testing.T) {
+	g, err := Generate(5, GenConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced := Reduce(g.Program, func(*prog.Program) bool { return false }, 0)
+	if CountStatements(reduced) != CountStatements(g.Program) {
+		t.Fatal("Reduce shrank a non-failing program")
+	}
+}
+
+// TestReduceRoundBound: maxRounds is honored (a single round may not
+// reach the fixpoint but must still preserve the signature).
+func TestReduceRoundBound(t *testing.T) {
+	g, err := Generate(11, GenConfig{Kinds: []VulnKind{DoubleFree}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := func(p *prog.Program) bool {
+		res, panicked := runNativeHeap(p, g.Attack)
+		return panicked || (res != nil && res.Fault != nil)
+	}
+	if !faults(g.Program) {
+		t.Fatal("unreduced double free does not fault")
+	}
+	reduced := Reduce(g.Program, faults, 1)
+	if !faults(reduced) {
+		t.Fatal("round-bounded reduction lost the signature")
+	}
+	if CountStatements(reduced) >= CountStatements(g.Program) {
+		t.Fatal("round-bounded reduction made no progress")
+	}
+}
+
+func TestCountStatements(t *testing.T) {
+	p := &prog.Program{
+		Funcs: map[string]*prog.Func{
+			"main": {Body: []prog.Stmt{
+				prog.Assign{Dst: "x", E: prog.C(1)},
+				prog.If{
+					Cond: prog.Lt(prog.V("x"), prog.C(2)),
+					Then: []prog.Stmt{prog.Nop{}},
+					Else: []prog.Stmt{prog.Nop{}, prog.Nop{}},
+				},
+				prog.While{Cond: prog.Lt(prog.V("x"), prog.C(0)), Body: []prog.Stmt{prog.Nop{}}},
+				prog.Return{},
+			}},
+		},
+	}
+	if n := CountStatements(p); n != 8 {
+		t.Fatalf("CountStatements = %d, want 8", n)
+	}
+}

@@ -1,0 +1,182 @@
+package heapsim
+
+import (
+	"strings"
+	"testing"
+
+	"heaptherapy/internal/mem"
+)
+
+func newCheckedPool(t *testing.T) *PoolAllocator {
+	t.Helper()
+	space, err := mem.NewSpace(mem.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPool(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestPoolCheckIntegrityHealthy drives the pool through every
+// operation class and asserts the walker stays quiet at each step.
+func TestPoolCheckIntegrityHealthy(t *testing.T) {
+	p := newCheckedPool(t)
+	check := func(stage string) {
+		t.Helper()
+		if err := p.CheckIntegrity(); err != nil {
+			t.Fatalf("%s: %v", stage, err)
+		}
+	}
+	check("fresh")
+	var ptrs []uint64
+	for _, size := range []uint64{1, 32, 33, 500, 4096, 70000} {
+		ptr, err := p.Malloc(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, ptr)
+		check("after malloc")
+	}
+	c, err := p.Calloc(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("after calloc")
+	m, err := p.Memalign(256, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("after memalign")
+	r, err := p.Realloc(ptrs[1], 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptrs[1] = r
+	check("after realloc")
+	for _, ptr := range append(ptrs, c, m) {
+		if err := p.Free(ptr); err != nil {
+			t.Fatal(err)
+		}
+		check("after free")
+	}
+	p.Reset()
+	check("after Reset")
+}
+
+// TestPoolCheckIntegrityViolations corrupts pool metadata in each way
+// the walker guards against and asserts detection. Every mutation is
+// undone so the cases stay independent.
+func TestPoolCheckIntegrityViolations(t *testing.T) {
+	p := newCheckedPool(t)
+	ptr, err := p.Malloc(48) // class 64
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckIntegrity(); err != nil {
+		t.Fatalf("healthy pool: %v", err)
+	}
+	class := classFor(48)
+
+	t.Run("duplicate free entry", func(t *testing.T) {
+		list := p.freeLists[class]
+		p.freeLists[class] = append(list, list[0])
+		defer func() { p.freeLists[class] = list }()
+		if err := p.CheckIntegrity(); err == nil || !strings.Contains(err.Error(), "twice") {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("free and live", func(t *testing.T) {
+		list := p.freeLists[class]
+		p.freeLists[class] = append(list, ptr)
+		defer func() { p.freeLists[class] = list }()
+		if err := p.CheckIntegrity(); err == nil || !strings.Contains(err.Error(), "both free and live") {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("free block outside space", func(t *testing.T) {
+		list := p.freeLists[class]
+		p.freeLists[class] = append(list, 1<<40)
+		p.stats.FreeBytes += poolClassSizes[class]
+		defer func() {
+			p.freeLists[class] = list
+			p.stats.FreeBytes -= poolClassSizes[class]
+		}()
+		if err := p.CheckIntegrity(); err == nil || !strings.Contains(err.Error(), "outside the mapped space") {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("overlapping blocks", func(t *testing.T) {
+		blk := p.live[ptr]
+		p.live[ptr+8] = blk
+		p.stats.InUseChunks++
+		p.stats.InUseBytes += blk.size
+		defer func() {
+			delete(p.live, ptr+8)
+			p.stats.InUseChunks--
+			p.stats.InUseBytes -= blk.size
+		}()
+		if err := p.CheckIntegrity(); err == nil || !strings.Contains(err.Error(), "overlap") {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("pointer outside block", func(t *testing.T) {
+		blk := p.live[ptr]
+		bad := blk
+		bad.base = ptr + blk.size
+		p.live[ptr] = bad
+		defer func() { p.live[ptr] = blk }()
+		if err := p.CheckIntegrity(); err == nil || !strings.Contains(err.Error(), "outside its block") {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("class size mismatch", func(t *testing.T) {
+		blk := p.live[ptr]
+		bad := blk
+		bad.size = 24
+		p.live[ptr] = bad
+		p.stats.InUseBytes -= blk.size - 24
+		defer func() {
+			p.live[ptr] = blk
+			p.stats.InUseBytes += blk.size - 24
+		}()
+		if err := p.CheckIntegrity(); err == nil || !strings.Contains(err.Error(), "class size") {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("stats chunk skew", func(t *testing.T) {
+		p.stats.InUseChunks++
+		defer func() { p.stats.InUseChunks-- }()
+		if err := p.CheckIntegrity(); err == nil || !strings.Contains(err.Error(), "InUseChunks") {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("stats byte skew", func(t *testing.T) {
+		p.stats.InUseBytes++
+		defer func() { p.stats.InUseBytes-- }()
+		if err := p.CheckIntegrity(); err == nil || !strings.Contains(err.Error(), "InUseBytes") {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("stats free-byte skew", func(t *testing.T) {
+		p.stats.FreeBytes++
+		defer func() { p.stats.FreeBytes-- }()
+		if err := p.CheckIntegrity(); err == nil || !strings.Contains(err.Error(), "FreeBytes") {
+			t.Fatalf("got %v", err)
+		}
+	})
+	t.Run("arena under-accounted", func(t *testing.T) {
+		save := p.stats.ArenaBytes
+		p.stats.ArenaBytes = 1
+		defer func() { p.stats.ArenaBytes = save }()
+		if err := p.CheckIntegrity(); err == nil || !strings.Contains(err.Error(), "arena") {
+			t.Fatalf("got %v", err)
+		}
+	})
+	// The corruption cases above must all have been undone.
+	if err := p.CheckIntegrity(); err != nil {
+		t.Fatalf("pool left corrupt by test: %v", err)
+	}
+}

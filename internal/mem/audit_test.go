@@ -1,0 +1,102 @@
+package mem
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAuditCleanSpace: a fresh space and a lightly used one must audit
+// clean — stores and protection changes mark their pages dirty, which
+// is exactly what keeps the audit invariant satisfiable.
+func TestAuditCleanSpace(t *testing.T) {
+	s, err := NewSpace(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Audit(); err != nil {
+		t.Fatalf("fresh space: %v", err)
+	}
+	base, err := s.Sbrk(3 * PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(base+100, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Mprotect(base+PageSize, PageSize, ProtNone); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Audit(); err != nil {
+		t.Fatalf("used space: %v", err)
+	}
+	s.Reset()
+	if err := s.Audit(); err != nil {
+		t.Fatalf("after Reset: %v", err)
+	}
+}
+
+// TestAuditCatchesSilentStore: clearing a page's dirty bit after a
+// store models the bug class the auditor exists for — a write path
+// that forgets markDirty (Reset would then leak stale bytes).
+func TestAuditCatchesSilentStore(t *testing.T) {
+	s, err := NewSpace(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(s.Base()+5, []byte{0xAA}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.dirty {
+		s.dirty[i] = 0
+	}
+	err = s.Audit()
+	if err == nil || !strings.Contains(err.Error(), "nonzero byte") {
+		t.Fatalf("audit = %v, want nonzero-byte violation", err)
+	}
+}
+
+// TestAuditCatchesSilentProtect: same for a protection change that
+// does not dirty the page.
+func TestAuditCatchesSilentProtect(t *testing.T) {
+	s, err := NewSpace(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Mprotect(s.Base(), PageSize, ProtRead); err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.dirty {
+		s.dirty[i] = 0
+	}
+	err = s.Audit()
+	if err == nil || !strings.Contains(err.Error(), "prot") {
+		t.Fatalf("audit = %v, want prot violation", err)
+	}
+}
+
+// TestAuditCatchesTableSkew: structural divergence between the mapped
+// length and the bookkeeping tables is reported.
+func TestAuditCatchesTableSkew(t *testing.T) {
+	s, err := NewSpace(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	save := s.prot
+	s.prot = s.prot[:len(s.prot)-1]
+	if err := s.Audit(); err == nil {
+		t.Fatal("audit passed with truncated prot table")
+	}
+	s.prot = save
+
+	saveDirty := s.dirty
+	s.dirty = s.dirty[:0]
+	if err := s.Audit(); err == nil {
+		t.Fatal("audit passed with truncated dirty bitmap")
+	}
+	s.dirty = saveDirty
+
+	s.data = s.data[:len(s.data)-1]
+	if err := s.Audit(); err == nil {
+		t.Fatal("audit passed with unaligned mapped length")
+	}
+}

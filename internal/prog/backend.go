@@ -105,7 +105,7 @@ type PatchProber interface {
 // no interposition: the paper's uninstrumented native execution, the
 // baseline all overhead numbers normalize against.
 type NativeBackend struct {
-	heap   *heapsim.Heap
+	under  heapsim.Allocator
 	space  *mem.Space
 	cycles uint64
 }
@@ -115,28 +115,48 @@ var (
 	_ BulkLoader  = (*NativeBackend)(nil)
 )
 
-// NewNativeBackend creates a native backend over a fresh heap.
+// NewNativeBackend creates a native backend over a fresh boundary-tag
+// heap.
 func NewNativeBackend(space *mem.Space) (*NativeBackend, error) {
 	h, err := heapsim.New(space)
 	if err != nil {
 		return nil, err
 	}
-	return &NativeBackend{heap: h, space: space}, nil
+	return &NativeBackend{under: h, space: space}, nil
 }
 
-// Heap exposes the underlying allocator (for statistics).
-func (nb *NativeBackend) Heap() *heapsim.Heap { return nb.heap }
+// NewNativeBackendWithAllocator creates a native backend over an
+// arbitrary allocator sharing the space — the uninstrumented baseline
+// for allocator-agnostic comparisons (paper property (5), and the
+// campaign oracle's native×pool cells).
+func NewNativeBackendWithAllocator(space *mem.Space, under heapsim.Allocator) (*NativeBackend, error) {
+	if under == nil {
+		return nil, fmt.Errorf("prog: nil allocator")
+	}
+	return &NativeBackend{under: under, space: space}, nil
+}
+
+// Heap exposes the underlying boundary-tag heap when the backend runs
+// over one (for statistics and integrity checks); nil when the backend
+// was built over a different allocator.
+func (nb *NativeBackend) Heap() *heapsim.Heap {
+	h, _ := nb.under.(*heapsim.Heap)
+	return h
+}
+
+// Allocator exposes the underlying allocator regardless of kind.
+func (nb *NativeBackend) Allocator() heapsim.Allocator { return nb.under }
 
 // Alloc implements HeapBackend.
 func (nb *NativeBackend) Alloc(fn heapsim.AllocFn, _, n, size, align uint64) (uint64, error) {
 	nb.cycles += CycAlloc
 	switch fn {
 	case heapsim.FnMalloc:
-		return nb.heap.Malloc(size)
+		return nb.under.Malloc(size)
 	case heapsim.FnCalloc:
-		return nb.heap.Calloc(n, size)
+		return nb.under.Calloc(n, size)
 	case heapsim.FnMemalign, heapsim.FnAlignedAlloc:
-		return nb.heap.Memalign(align, size)
+		return nb.under.Memalign(align, size)
 	default:
 		return 0, fmt.Errorf("prog: Alloc with unsupported function %v", fn)
 	}
@@ -145,13 +165,13 @@ func (nb *NativeBackend) Alloc(fn heapsim.AllocFn, _, n, size, align uint64) (ui
 // Realloc implements HeapBackend.
 func (nb *NativeBackend) Realloc(_, ptr, size uint64) (uint64, error) {
 	nb.cycles += CycAlloc
-	return nb.heap.Realloc(ptr, size)
+	return nb.under.Realloc(ptr, size)
 }
 
 // Free implements HeapBackend.
 func (nb *NativeBackend) Free(ptr, _ uint64) error {
 	nb.cycles += CycFree
-	return nb.heap.Free(ptr)
+	return nb.under.Free(ptr)
 }
 
 // Load implements HeapBackend.
@@ -212,7 +232,15 @@ func (nb *NativeBackend) ObservesUse() bool { return false }
 // arena, so a recycled backend behaves bit-identically to a fresh one.
 func (nb *NativeBackend) Reset() error {
 	nb.cycles = 0
-	return nb.heap.Reset()
+	switch u := nb.under.(type) {
+	case interface{ Reset() error }:
+		return u.Reset()
+	case interface{ Reset() }:
+		u.Reset()
+		return nil
+	default:
+		return fmt.Errorf("prog: allocator %T does not support Reset", nb.under)
+	}
 }
 
 // Cycles implements HeapBackend.

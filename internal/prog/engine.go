@@ -71,6 +71,25 @@ type runner interface {
 	setSchedHook(every uint64, fn func())
 }
 
+// SetQuantumHook arranges for fn to run every `every` executed
+// statements of ex, between statements (never mid-operation), on
+// whichever engine backs ex. Campaign harnesses use it to walk heap
+// and page-table invariants at quantum boundaries without touching
+// interpreter hot paths. It reports whether ex supports hooking (both
+// built-in engines do). every == 0 or fn == nil clears the hook.
+func SetQuantumHook(ex Exec, every uint64, fn func()) bool {
+	r, ok := ex.(runner)
+	if !ok {
+		return false
+	}
+	if every == 0 || fn == nil {
+		r.setSchedHook(0, nil)
+		return true
+	}
+	r.setSchedHook(every, fn)
+	return true
+}
+
 // NewExec constructs an executor for p per cfg.Engine. EngineTree
 // yields the reference interpreter; EngineVM compiles p (once per
 // call — share a Compiled via NewVM to amortize across instances) and
