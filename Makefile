@@ -4,13 +4,14 @@ PKGS := ./...
 # allocator under concurrency, the parallel fleet runtime) that the
 # race detector must cover, plus the campaign harness whose matrix
 # replays cross all of them.
-RACE_PKGS := ./internal/defense/ ./internal/prog/ ./internal/fleet/ ./internal/campaign/
+RACE_PKGS := ./internal/defense/ ./internal/prog/ ./internal/fleet/ ./internal/campaign/ ./internal/telemetry/
 # Packages whose statement coverage is gated in CI: the allocator the
-# campaign walker audits and the campaign rig itself.
-COVER_GATE_PKGS := ./internal/heapsim/ ./internal/campaign/
+# campaign walker audits, the campaign rig itself, and the runtime
+# layers the telemetry sweep pinned (defense/shadow/mem/telemetry).
+COVER_GATE_PKGS := ./internal/heapsim/ ./internal/campaign/ ./internal/defense/ ./internal/shadow/ ./internal/mem/ ./internal/telemetry/
 COVER_MIN := 80
 
-.PHONY: all build test race vet fmt-check bench bench-json bench-fleet bench-vm bench-smoke check cover corpus fuzz-smoke
+.PHONY: all build test race vet fmt-check bench bench-json bench-fleet bench-vm bench-smoke bench-telemetry check cover corpus fuzz-smoke
 
 all: check
 
@@ -53,6 +54,14 @@ BENCHTIME ?= 1s
 bench-vm:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngines|BenchmarkCompile' -benchmem \
 		-benchtime $(BENCHTIME) ./internal/prog/
+
+# Telemetry overhead pins: the disabled hot path must be 0 allocs/op
+# (AllocsPerRun tests in defense/mem/telemetry) and the fleet-level
+# enabled-vs-disabled throughput delta is reported by the experiment.
+bench-telemetry:
+	$(GO) test -run 'ZeroAlloc|LookupAllocs|MemKernelAllocs' -count 1 -v \
+		./internal/telemetry/ ./internal/defense/ ./internal/mem/ | grep -E '^(--- (PASS|FAIL)|ok|FAIL)'
+	$(GO) run ./cmd/htp-bench -quick -exp telemetry
 
 # One-iteration pass over every benchmark in the repo: catches bitrot
 # in benchmark code without paying for stable timings. CI runs this.

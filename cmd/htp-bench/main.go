@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	htp-bench [-exp all|encoding|table2|table3|table4|fig8|fig9|services|ablation|guard|fleet|vm] [-quick] [-scale N] [-engine tree|vm]
+//	htp-bench [-exp all|encoding|table2|table3|table4|fig8|fig9|services|ablation|guard|fleet|telemetry|vm] [-quick] [-scale N] [-engine tree|vm]
 package main
 
 import (
@@ -29,7 +29,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("htp-bench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to run: all, encoding, table2, table3, table4, fig8, fig9, services, concurrent, ablation, stackoffset, scaling, guard, fleet, vm")
+	exp := fs.String("exp", "all", "experiment to run: all, encoding, table2, table3, table4, fig8, fig9, services, concurrent, ablation, stackoffset, scaling, guard, fleet, telemetry, vm")
 	quick := fs.Bool("quick", false, "trim sweeps for a fast run")
 	scale := fs.Uint64("scale", 0, "divisor for Table IV allocation counts (default 10000)")
 	jsonOut := fs.Bool("json", false, "emit per-experiment wall time and allocations as JSON instead of rendered tables")
@@ -96,6 +96,9 @@ func run(args []string) error {
 		})},
 		{"fleet", wrap(func(c experiments.Config) (interface{ Render() string }, error) {
 			return experiments.Fleet(c)
+		})},
+		{"telemetry", wrap(func(c experiments.Config) (interface{ Render() string }, error) {
+			return experiments.TelemetryOverhead(c)
 		})},
 		{"vm", wrap(func(c experiments.Config) (interface{ Render() string }, error) {
 			r, err := experiments.VMComparison(c)

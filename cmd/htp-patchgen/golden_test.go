@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// TestGolden pins the generator's end-to-end output — both streams —
+// byte for byte. The analysis replay is deterministic (virtual cycles,
+// fixed CCID arithmetic), so the report, the patch config, and the
+// corpus listing are all stable. Regenerate with:
+// go test ./cmd/htp-patchgen -run Golden -update
+func TestGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"list", []string{"-list"}},
+		{"heartbleed", []string{"-case", "heartbleed"}},
+		{"heartbleed-pcce", []string{"-case", "heartbleed", "-encoder", "PCCE"}},
+		{"wavpack", []string{"-case", "wavpack"}},
+		{"dump-bc", []string{"-case", "bc", "-dump"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if err := run(c.args, &stdout, &stderr); err != nil {
+				t.Fatal(err)
+			}
+			var out bytes.Buffer
+			out.WriteString("-- stdout --\n")
+			out.Write(stdout.Bytes())
+			out.WriteString("-- stderr --\n")
+			out.Write(stderr.Bytes())
+			compareGolden(t, filepath.Join("testdata", c.name+".golden"), out.Bytes())
+		})
+	}
+}
+
+// compareGolden diffs got against the golden file, rewriting it under
+// -update.
+func compareGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s (rerun with -update after verifying):\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+}

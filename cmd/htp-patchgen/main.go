@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"heaptherapy/internal/core"
@@ -24,13 +25,13 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "htp-patchgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("htp-patchgen", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list corpus programs and exit")
 	caseName := fs.String("case", "", "corpus program to analyze (see -list)")
@@ -45,7 +46,7 @@ func run(args []string) error {
 
 	if *list {
 		for _, c := range vuln.AllCases() {
-			fmt.Printf("%-28s %-38s %s\n", c.Name, c.Ref, c.Types)
+			fmt.Fprintf(stdout, "%-28s %-38s %s\n", c.Name, c.Ref, c.Types)
 		}
 		return nil
 	}
@@ -64,7 +65,7 @@ func run(args []string) error {
 		}
 		program, attack = c.Program, c.Attack
 		if *dump {
-			fmt.Print(progtext.Print(program))
+			fmt.Fprint(stdout, progtext.Print(program))
 			return nil
 		}
 	case *programFile != "":
@@ -104,11 +105,11 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	if err := rep.Write(os.Stderr); err != nil {
+	if err := rep.Write(stderr); err != nil {
 		return err
 	}
 
-	w := os.Stdout
+	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
@@ -116,7 +117,7 @@ func run(args []string) error {
 		}
 		defer func() {
 			if cerr := f.Close(); cerr != nil {
-				fmt.Fprintln(os.Stderr, "htp-patchgen: closing output:", cerr)
+				fmt.Fprintln(stderr, "htp-patchgen: closing output:", cerr)
 			}
 		}()
 		w = f
@@ -125,7 +126,7 @@ func run(args []string) error {
 		return err
 	}
 	if *out != "" {
-		fmt.Fprintf(os.Stderr, "wrote %d patch(es) to %s\n", rep.Patches.Len(), *out)
+		fmt.Fprintf(stderr, "wrote %d patch(es) to %s\n", rep.Patches.Len(), *out)
 	}
 	return nil
 }

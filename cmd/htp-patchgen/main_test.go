@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"io"
 	"os"
 	"path/filepath"
@@ -10,29 +11,16 @@ import (
 	"heaptherapy/internal/patch"
 )
 
-// capture redirects stdout around fn and returns what was printed.
-func capture(t *testing.T, fn func() error) (string, error) {
+// runOut runs the CLI with in-memory streams and returns stdout.
+func runOut(t *testing.T, args ...string) (string, error) {
 	t.Helper()
-	old := os.Stdout
-	r, w, err := os.Pipe()
-	if err != nil {
-		t.Fatal(err)
-	}
-	os.Stdout = w
-	runErr := fn()
-	if cerr := w.Close(); cerr != nil {
-		t.Fatal(cerr)
-	}
-	os.Stdout = old
-	out, err := io.ReadAll(r)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return string(out), runErr
+	var buf bytes.Buffer
+	err := run(args, &buf, io.Discard)
+	return buf.String(), err
 }
 
 func TestList(t *testing.T) {
-	out, err := capture(t, func() error { return run([]string{"-list"}) })
+	out, err := runOut(t, "-list")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +34,7 @@ func TestList(t *testing.T) {
 func TestGenerateToFile(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "patches.conf")
-	if err := run([]string{"-case", "heartbleed", "-o", out}); err != nil {
+	if err := run([]string{"-case", "heartbleed", "-o", out}, io.Discard, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -76,7 +64,7 @@ func TestGenerateWithAttackFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := filepath.Join(dir, "patches.conf")
-	if err := run([]string{"-case", "heartbleed", "-attack-file", attack, "-o", out}); err != nil {
+	if err := run([]string{"-case", "heartbleed", "-attack-file", attack, "-o", out}, io.Discard, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -94,13 +82,13 @@ func TestGenerateWithAttackFile(t *testing.T) {
 }
 
 func TestErrors(t *testing.T) {
-	if err := run(nil); err == nil {
+	if err := run(nil, io.Discard, io.Discard); err == nil {
 		t.Error("no -case accepted")
 	}
-	if err := run([]string{"-case", "nonesuch"}); err == nil {
+	if err := run([]string{"-case", "nonesuch"}, io.Discard, io.Discard); err == nil {
 		t.Error("unknown case accepted")
 	}
-	if err := run([]string{"-case", "bc", "-attack-file", "/nonexistent/x"}); err == nil {
+	if err := run([]string{"-case", "bc", "-attack-file", "/nonexistent/x"}, io.Discard, io.Discard); err == nil {
 		t.Error("missing attack file accepted")
 	}
 }
@@ -111,7 +99,7 @@ func TestProgramFileWorkflow(t *testing.T) {
 		"-program", "../../testdata/leaky-server.htp",
 		"-attack-file", "../../testdata/leaky-server.attack",
 		"-o", out,
-	}); err != nil {
+	}, io.Discard, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -136,7 +124,7 @@ func TestProgramFileWorkflow(t *testing.T) {
 }
 
 func TestDumpCase(t *testing.T) {
-	out, err := capture(t, func() error { return run([]string{"-case", "bc", "-dump"}) })
+	out, err := runOut(t, "-case", "bc", "-dump")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,10 +136,25 @@ func TestDumpCase(t *testing.T) {
 }
 
 func TestProgramRequiresAttackFile(t *testing.T) {
-	if err := run([]string{"-program", "../../testdata/leaky-server.htp"}); err == nil {
+	if err := run([]string{"-program", "../../testdata/leaky-server.htp"}, io.Discard, io.Discard); err == nil {
 		t.Error("-program without -attack-file accepted")
 	}
-	if err := run([]string{"-program", "x", "-case", "bc"}); err == nil {
+	if err := run([]string{"-program", "x", "-case", "bc"}, io.Discard, io.Discard); err == nil {
 		t.Error("-program with -case accepted")
+	}
+}
+
+// TestReportGoesToStderr pins the stream split: the analysis report is
+// commentary on stderr, the machine-readable patch config is stdout.
+func TestReportGoesToStderr(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-case", "heartbleed"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := patch.ReadConfig(bytes.NewReader(stdout.Bytes())); err != nil {
+		t.Errorf("stdout is not a clean patch config: %v\n%s", err, stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "warning") {
+		t.Errorf("analysis report not on stderr:\n%s", stderr.String())
 	}
 }

@@ -7,11 +7,13 @@
 //	htp-run -case heartbleed                         # native, built-in attack
 //	htp-run -case heartbleed -patches patches.conf   # defended
 //	htp-run -case heartbleed -benign 0               # first benign input
+//	htp-run -case heartbleed -patches patches.conf -telemetry table
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"heaptherapy/internal/core"
@@ -19,6 +21,7 @@ import (
 	"heaptherapy/internal/patch"
 	"heaptherapy/internal/prog"
 	"heaptherapy/internal/progtext"
+	"heaptherapy/internal/telemetry"
 	"heaptherapy/internal/vuln"
 )
 
@@ -37,13 +40,13 @@ func (c caseOracle) Success(r *prog.Result) bool {
 func (c caseOracle) HasOracle() bool { return c.oracle != nil }
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "htp-run:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("htp-run", flag.ContinueOnError)
 	caseName := fs.String("case", "", "corpus program to run (see htp-patchgen -list)")
 	programFile := fs.String("program", "", "run a progtext program file instead of a corpus case")
@@ -53,11 +56,20 @@ func run(args []string) error {
 	threads := fs.Int("threads", 1, "run N copies concurrently over one shared heap")
 	encoderName := fs.String("encoder", "PCC", "calling-context encoder; must match the one htp-patchgen used")
 	engineName := fs.String("engine", "tree", "execution engine: tree (reference interpreter) or vm (bytecode)")
+	telemetryFmt := fs.String("telemetry", "", `append a telemetry report after the run: "table" or "json"`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *threads < 1 {
 		return fmt.Errorf("-threads must be >= 1")
+	}
+	var tcol *telemetry.Collector
+	switch *telemetryFmt {
+	case "":
+	case "table", "json":
+		tcol = telemetry.New(telemetry.Config{})
+	default:
+		return fmt.Errorf(`-telemetry must be "table" or "json", not %q`, *telemetryFmt)
 	}
 
 	var (
@@ -109,7 +121,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	sys, err := core.NewSystem(program, core.Options{Encoder: encKind, Engine: engine})
+	sys, err := core.NewSystem(program, core.Options{Encoder: encKind, Engine: engine, Telemetry: tcol})
 	if err != nil {
 		return err
 	}
@@ -120,9 +132,9 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("mode: native\n")
-		printResult(res.Crashed(), res.Fault, res.Output, c, res)
-		return nil
+		fmt.Fprintf(stdout, "mode: native\n")
+		printResult(stdout, res.Crashed(), res.Fault, res.Output, c, res)
+		return printTelemetry(stdout, tcol, *telemetryFmt)
 	}
 
 	f, err := os.Open(*patchFile)
@@ -146,47 +158,61 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("mode: defended, %d threads sharing one heap (%d patches loaded)\n",
+		fmt.Fprintf(stdout, "mode: defended, %d threads sharing one heap (%d patches loaded)\n",
 			*threads, patches.Len())
 		succeeded := 0
 		for i, res := range results {
 			if c.Success(res) {
 				succeeded++
 			}
-			fmt.Printf("thread %d: crashed=%v output=%q\n", i, res.Crashed(), clip(res.Output, 48))
+			fmt.Fprintf(stdout, "thread %d: crashed=%v output=%q\n", i, res.Crashed(), clip(res.Output, 48))
 		}
-		fmt.Printf("attack oracle: %d/%d threads' attacks succeeded\n", succeeded, *threads)
-		fmt.Printf("defense: %d allocs intercepted, %d recognized vulnerable, %d deferred frees\n",
+		fmt.Fprintf(stdout, "attack oracle: %d/%d threads' attacks succeeded\n", succeeded, *threads)
+		fmt.Fprintf(stdout, "defense: %d allocs intercepted, %d recognized vulnerable, %d deferred frees\n",
 			stats.Allocs, stats.PatchedAllocs, stats.DeferredFrees)
-		return nil
+		return printTelemetry(stdout, tcol, *telemetryFmt)
 	}
 
 	run, err := sys.RunDefended(input, patches)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("mode: defended (%d patches loaded)\n", patches.Len())
-	printResult(run.Result.Crashed(), run.Result.Fault, run.Result.Output, c, run.Result)
+	fmt.Fprintf(stdout, "mode: defended (%d patches loaded)\n", patches.Len())
+	printResult(stdout, run.Result.Crashed(), run.Result.Fault, run.Result.Output, c, run.Result)
 	st := run.Stats
-	fmt.Printf("defense: %d allocs intercepted, %d recognized vulnerable, %d guard pages, %d zero fills, %d deferred frees\n",
+	fmt.Fprintf(stdout, "defense: %d allocs intercepted, %d recognized vulnerable, %d guard pages, %d zero fills, %d deferred frees\n",
 		st.Allocs, st.PatchedAllocs, st.GuardPages, st.ZeroFills, st.DeferredFrees)
-	return nil
+	return printTelemetry(stdout, tcol, *telemetryFmt)
 }
 
-func printResult(crashed bool, fault error, output []byte, c caseOracle, res *prog.Result) {
-	if crashed {
-		fmt.Printf("execution: terminated by fault: %v\n", fault)
-	} else {
-		fmt.Printf("execution: completed\n")
+// printTelemetry appends the collector's snapshot in the requested
+// format; a nil collector (no -telemetry flag) prints nothing.
+func printTelemetry(w io.Writer, tcol *telemetry.Collector, format string) error {
+	if tcol == nil {
+		return nil
 	}
-	fmt.Printf("output (%d bytes): %q\n", len(output), clip(output, 96))
+	snap := tcol.Snapshot()
+	if format == "json" {
+		return snap.WriteJSON(w)
+	}
+	_, err := io.WriteString(w, snap.Render())
+	return err
+}
+
+func printResult(w io.Writer, crashed bool, fault error, output []byte, c caseOracle, res *prog.Result) {
+	if crashed {
+		fmt.Fprintf(w, "execution: terminated by fault: %v\n", fault)
+	} else {
+		fmt.Fprintf(w, "execution: completed\n")
+	}
+	fmt.Fprintf(w, "output (%d bytes): %q\n", len(output), clip(output, 96))
 	switch {
 	case !c.HasOracle():
-		fmt.Println("attack oracle: none (program loaded from file)")
+		fmt.Fprintln(w, "attack oracle: none (program loaded from file)")
 	case c.Success(res):
-		fmt.Println("attack oracle: ATTACK SUCCEEDED")
+		fmt.Fprintln(w, "attack oracle: ATTACK SUCCEEDED")
 	default:
-		fmt.Println("attack oracle: attack did not succeed")
+		fmt.Fprintln(w, "attack oracle: attack did not succeed")
 	}
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"io"
 	"os"
 	"path/filepath"
@@ -12,24 +13,13 @@ import (
 	"heaptherapy/internal/vuln"
 )
 
-func capture(t *testing.T, fn func() error) (string, error) {
+// runOut runs the CLI with an in-memory stdout and returns what it
+// printed.
+func runOut(t *testing.T, args ...string) (string, error) {
 	t.Helper()
-	old := os.Stdout
-	r, w, err := os.Pipe()
-	if err != nil {
-		t.Fatal(err)
-	}
-	os.Stdout = w
-	runErr := fn()
-	if cerr := w.Close(); cerr != nil {
-		t.Fatal(cerr)
-	}
-	os.Stdout = old
-	out, err := io.ReadAll(r)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return string(out), runErr
+	var buf bytes.Buffer
+	err := run(args, &buf)
+	return buf.String(), err
 }
 
 // writePatches generates a real patch file for a case.
@@ -62,7 +52,7 @@ func writePatches(t *testing.T, caseName string) string {
 }
 
 func TestNativeAttack(t *testing.T) {
-	out, err := capture(t, func() error { return run([]string{"-case", "wavpack"}) })
+	out, err := runOut(t, "-case", "wavpack")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,9 +63,7 @@ func TestNativeAttack(t *testing.T) {
 
 func TestDefendedAttack(t *testing.T) {
 	patches := writePatches(t, "wavpack")
-	out, err := capture(t, func() error {
-		return run([]string{"-case", "wavpack", "-patches", patches})
-	})
+	out, err := runOut(t, "-case", "wavpack", "-patches", patches)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,9 +75,7 @@ func TestDefendedAttack(t *testing.T) {
 }
 
 func TestBenignInput(t *testing.T) {
-	out, err := capture(t, func() error {
-		return run([]string{"-case", "wavpack", "-benign", "0"})
-	})
+	out, err := runOut(t, "-case", "wavpack", "-benign", "0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,33 +89,32 @@ func TestInputFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte{0x00, 1, 2, 3}, 0o600); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := capture(t, func() error {
-		return run([]string{"-case", "bc", "-input-file", path})
-	}); err != nil {
+	if _, err := runOut(t, "-case", "bc", "-input-file", path); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestErrors(t *testing.T) {
-	if err := run(nil); err == nil {
+	if err := run(nil, io.Discard); err == nil {
 		t.Error("missing -case accepted")
 	}
-	if err := run([]string{"-case", "nope"}); err == nil {
+	if err := run([]string{"-case", "nope"}, io.Discard); err == nil {
 		t.Error("unknown case accepted")
 	}
-	if err := run([]string{"-case", "bc", "-benign", "99"}); err == nil {
+	if err := run([]string{"-case", "bc", "-benign", "99"}, io.Discard); err == nil {
 		t.Error("out-of-range benign index accepted")
 	}
-	if err := run([]string{"-case", "bc", "-patches", "/nonexistent"}); err == nil {
+	if err := run([]string{"-case", "bc", "-patches", "/nonexistent"}, io.Discard); err == nil {
 		t.Error("missing patch file accepted")
+	}
+	if err := run([]string{"-case", "bc", "-telemetry", "xml"}, io.Discard); err == nil {
+		t.Error("bogus telemetry format accepted")
 	}
 }
 
 func TestDefendedThreads(t *testing.T) {
 	patches := writePatches(t, "optipng")
-	out, err := capture(t, func() error {
-		return run([]string{"-case", "optipng", "-patches", patches, "-threads", "3"})
-	})
+	out, err := runOut(t, "-case", "optipng", "-patches", patches, "-threads", "3")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +123,7 @@ func TestDefendedThreads(t *testing.T) {
 			t.Errorf("threaded output missing %q:\n%s", want, out)
 		}
 	}
-	if err := run([]string{"-case", "optipng", "-threads", "0"}); err == nil {
+	if err := run([]string{"-case", "optipng", "-threads", "0"}, io.Discard); err == nil {
 		t.Error("-threads 0 accepted")
 	}
 }
@@ -165,16 +150,40 @@ func TestEncoderFlagRoundTrip(t *testing.T) {
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
-	out, err := capture(t, func() error {
-		return run([]string{"-case", "ghostxps", "-patches", path, "-encoder", "PCCE"})
-	})
+	out, err := runOut(t, "-case", "ghostxps", "-patches", path, "-encoder", "PCCE")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out, "attack did not succeed") || !strings.Contains(out, "1 recognized vulnerable") {
 		t.Errorf("PCCE round trip failed:\n%s", out)
 	}
-	if err := run([]string{"-case", "ghostxps", "-encoder", "Bogus"}); err == nil {
+	if err := run([]string{"-case", "ghostxps", "-encoder", "Bogus"}, io.Discard); err == nil {
 		t.Error("bogus encoder accepted")
+	}
+}
+
+// TestTelemetryFlag checks both report formats over a defended run: the
+// table must show the patch-hit counter and event trace, the JSON must
+// parse-roundtrip through the snapshot schema (covered by the golden
+// test; here we pin the load-bearing lines).
+func TestTelemetryFlag(t *testing.T) {
+	patches := writePatches(t, "heartbleed")
+	out, err := runOut(t, "-case", "heartbleed", "-patches", patches, "-telemetry", "table")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"telemetry:", "patch_hits", "patch-hit", "histogram alloc_size"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("telemetry table missing %q:\n%s", want, out)
+		}
+	}
+	out, err = runOut(t, "-case", "heartbleed", "-patches", patches, "-telemetry", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"counters"`, `"patch_hits": 1`, `"events"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("telemetry JSON missing %q:\n%s", want, out)
+		}
 	}
 }

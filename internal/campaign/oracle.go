@@ -12,6 +12,7 @@ import (
 	"heaptherapy/internal/mem"
 	"heaptherapy/internal/patch"
 	"heaptherapy/internal/prog"
+	"heaptherapy/internal/telemetry"
 )
 
 // AllocKind selects the allocator under the native or defended run.
@@ -103,6 +104,11 @@ type Outcome struct {
 	// Warnings and PatchText are set for shadow cells.
 	Warnings  []string `json:",omitempty"`
 	PatchText string   `json:",omitempty"`
+	// Telemetry is the cell's counter/event snapshot, set for defended
+	// cells. The run is single-threaded and virtual-cycle-clocked, so
+	// the snapshot is deterministic and participates in the engine
+	// divergence signature.
+	Telemetry *telemetry.Snapshot `json:",omitempty"`
 }
 
 // signature folds every cross-engine-comparable observable into one
@@ -122,6 +128,12 @@ func (o *Outcome) signature() string {
 	}
 	if o.DefenseStats != nil {
 		fmt.Fprintf(&b, " def=%+v", *o.DefenseStats)
+	}
+	if o.Telemetry != nil {
+		b.WriteString(" tel=")
+		if err := o.Telemetry.WriteJSON(&b); err != nil {
+			fmt.Fprintf(&b, "<%v>", err)
+		}
 	}
 	fmt.Fprintf(&b, " warn=%q patches=%q", o.Warnings, o.PatchText)
 	return b.String()
@@ -311,6 +323,18 @@ func (o Oracle) runCell(g *Generated, coder *encoding.Coder, cell Cell, patches 
 	if err != nil {
 		return fail(err)
 	}
+	// Defended cells run fully telemetered: the snapshot lands in the
+	// Outcome (and hence the engine-divergence signature) and lets the
+	// harness assert that a planted vulnerability's patch actually fired.
+	// The quantum hook stays with the invariant walker, so quantum
+	// timing is deliberately absent here.
+	var tcol *telemetry.Collector
+	var tel *telemetry.Scope
+	if cell.Mode == ModeDefended {
+		tcol = telemetry.New(telemetry.Config{Shards: 1, RingSize: 256})
+		tel = tcol.Scope()
+		space.SetTelemetry(tel)
+	}
 	// Construction order matters on the boundary-tag heap: its arena
 	// must stay the space's only growing segment, so the defender (which
 	// maps its patch table first, like a library constructor running
@@ -322,7 +346,7 @@ func (o Oracle) runCell(g *Generated, coder *encoding.Coder, cell Cell, patches 
 	var backend prog.HeapBackend
 	var dback *defense.Backend
 	if cell.Mode == ModeDefended && cell.Alloc == AllocHeap && o.AllocatorFor == nil {
-		dback, err = defense.NewBackend(space, defense.Config{Patches: patches})
+		dback, err = defense.NewBackend(space, defense.Config{Patches: patches, Telemetry: tel})
 		if err != nil {
 			return fail(err)
 		}
@@ -340,7 +364,13 @@ func (o Oracle) runCell(g *Generated, coder *encoding.Coder, cell Cell, patches 
 			return fail(err)
 		}
 		if cell.Mode == ModeDefended {
-			dback, err = defense.NewBackendWithAllocator(space, under, defense.Config{Patches: patches})
+			switch a := under.(type) {
+			case *heapsim.Heap:
+				a.SetTelemetry(tel)
+			case *heapsim.PoolAllocator:
+				a.SetTelemetry(tel)
+			}
+			dback, err = defense.NewBackendWithAllocator(space, under, defense.Config{Patches: patches, Telemetry: tel})
 			backend = dback
 		} else {
 			backend, err = prog.NewNativeBackendWithAllocator(space, under)
@@ -383,6 +413,9 @@ func (o Oracle) runCell(g *Generated, coder *encoding.Coder, cell Cell, patches 
 	if dback != nil {
 		st := dback.Defender().Stats()
 		out.DefenseStats = &st
+	}
+	if tcol != nil {
+		out.Telemetry = tcol.Snapshot()
 	}
 	return out
 }

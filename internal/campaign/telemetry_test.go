@@ -1,0 +1,85 @@
+package campaign
+
+import (
+	"testing"
+
+	"heaptherapy/internal/core"
+	"heaptherapy/internal/telemetry"
+)
+
+// TestDefendedAttackRecordsPatchHit closes the loop between the
+// generator's ground truth and the telemetry layer: for every
+// vulnerability kind, the defended attack cells must record at least
+// one patch-hit event, and every recorded hit's packed site must be
+// one of the {FUN, CCID} keys the offline analysis actually emitted.
+// A site mismatch would mean the defense fired on the wrong allocation
+// context — a patch-table keying bug no coarse counter would catch.
+func TestDefendedAttackRecordsPatchHit(t *testing.T) {
+	for _, kind := range AllKinds() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			g, err := Generate(7, GenConfig{Kinds: []VulnKind{kind}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := Oracle{}.Check(g)
+			if !rep.OK() {
+				t.Fatalf("oracle failures: %+v", rep.Failures)
+			}
+
+			// Ground truth: regenerate the patch set the oracle deployed
+			// (same default options, hence the same coder and CCIDs).
+			sys, err := core.NewSystem(g.Program, core.Options{MaxSteps: 1 << 20})
+			if err != nil {
+				t.Fatal(err)
+			}
+			arep, err := sys.GeneratePatches(g.Attack)
+			if err != nil {
+				t.Fatal(err)
+			}
+			truth := map[uint64]bool{}
+			for _, p := range arep.Patches.Patches() {
+				truth[telemetry.PackSite(uint8(p.Fn), p.CCID)] = true
+			}
+			if len(truth) == 0 {
+				t.Fatal("analysis produced no patches")
+			}
+
+			attacked := 0
+			for _, out := range rep.Outcomes {
+				if out.Cell.Mode != ModeDefended {
+					continue
+				}
+				if out.Telemetry == nil {
+					t.Fatalf("%s: defended cell has no telemetry snapshot", out.Cell)
+				}
+				if !out.Cell.Attack {
+					continue
+				}
+				attacked++
+				if n := out.Telemetry.Counter(telemetry.CtrPatchHits); n == 0 {
+					t.Errorf("%s: defended attack recorded no patch hits", out.Cell)
+				}
+				hits := out.Telemetry.EventsOfKind(telemetry.EvPatchHit)
+				if len(hits) == 0 {
+					t.Errorf("%s: no patch-hit events retained", out.Cell)
+				}
+				for _, e := range hits {
+					if !truth[e.Site] {
+						t.Errorf("%s: patch hit at site %#x not among ground-truth patch keys %v",
+							out.Cell, e.Site, truth)
+					}
+					// Site keeps the low 56 CCID bits (the top byte is the
+					// allocation function); it must agree with the event's
+					// full CCID on those bits.
+					if telemetry.SiteCCID(e.Site) != e.CCID&(1<<56-1) {
+						t.Errorf("%s: event CCID %#x disagrees with site %#x", out.Cell, e.CCID, e.Site)
+					}
+				}
+			}
+			if attacked == 0 {
+				t.Fatal("matrix ran no defended attack cells")
+			}
+		})
+	}
+}

@@ -15,6 +15,8 @@ import (
 	"heaptherapy/internal/mem"
 	"heaptherapy/internal/patch"
 	"heaptherapy/internal/prog"
+	"heaptherapy/internal/shadow"
+	"heaptherapy/internal/telemetry"
 )
 
 // Options selects the encoding configuration. The paper's deployed
@@ -34,6 +36,12 @@ type Options struct {
 	// are differentially verified bit-identical, so patches generated
 	// under one apply under the other.
 	Engine prog.Engine
+	// Telemetry, when non-nil, instruments every pipeline stage run
+	// through this System: each run binds one scope for its space,
+	// allocator, and (where applicable) defense or shadow layer, plus
+	// quantum-boundary timing. Nil runs carry zero instrumentation
+	// overhead beyond a per-site nil check.
+	Telemetry *telemetry.Collector
 }
 
 func (o Options) withDefaults() Options {
@@ -86,12 +94,25 @@ func (s *System) Coder() *encoding.Coder { return s.coder }
 // analysis report with generated patches.
 func (s *System) GeneratePatches(attackInput []byte) (*analysis.Report, error) {
 	a := &analysis.Analyzer{
-		Coder:    s.coder,
-		MaxSteps: s.opts.MaxSteps,
-		Engine:   s.opts.Engine,
+		Coder:        s.coder,
+		MaxSteps:     s.opts.MaxSteps,
+		Engine:       s.opts.Engine,
+		ShadowConfig: shadow.Config{Telemetry: s.scope()},
 	}
 	return a.Analyze(s.program, attackInput)
 }
+
+// scope binds a fresh telemetry tenant for one pipeline-stage run, or
+// nil when the System is untelemetered.
+func (s *System) scope() *telemetry.Scope {
+	if s.opts.Telemetry == nil {
+		return nil
+	}
+	return s.opts.Telemetry.Scope()
+}
+
+// Telemetry returns the System's collector (nil when disabled).
+func (s *System) Telemetry() *telemetry.Collector { return s.opts.Telemetry }
 
 // RunNative executes the program with no defense (and no encoding):
 // the baseline.
@@ -100,14 +121,20 @@ func (s *System) RunNative(input []byte) (*prog.Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: creating space: %w", err)
 	}
+	tel := s.scope()
+	space.SetTelemetry(tel)
 	backend, err := prog.NewNativeBackend(space)
 	if err != nil {
 		return nil, fmt.Errorf("core: creating native backend: %w", err)
+	}
+	if h := backend.Heap(); h != nil {
+		h.SetTelemetry(tel)
 	}
 	it, err := prog.NewExec(s.program, prog.Config{Backend: backend, MaxSteps: s.opts.MaxSteps, Engine: s.opts.Engine})
 	if err != nil {
 		return nil, fmt.Errorf("core: building interpreter: %w", err)
 	}
+	attachQuantumTelemetry(it, backend, tel)
 	res, err := it.Run(input)
 	if err != nil {
 		return nil, fmt.Errorf("core: native run: %w", err)
@@ -136,10 +163,13 @@ func (s *System) RunDefended(input []byte, patches *patch.Set) (*DefendedRun, er
 	if err != nil {
 		return nil, fmt.Errorf("core: creating space: %w", err)
 	}
+	tel := s.scope()
+	space.SetTelemetry(tel)
 	backend, err := defense.NewBackend(space, defense.Config{
 		Mode:       defense.ModeFull,
 		Patches:    patches,
 		QueueQuota: s.opts.QueueQuota,
+		Telemetry:  tel,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: creating defended backend: %w", err)
@@ -153,6 +183,7 @@ func (s *System) RunDefended(input []byte, patches *patch.Set) (*DefendedRun, er
 	if err != nil {
 		return nil, fmt.Errorf("core: building interpreter: %w", err)
 	}
+	attachQuantumTelemetry(it, backend, tel)
 	res, err := it.Run(input)
 	if err != nil {
 		return nil, fmt.Errorf("core: defended run: %w", err)
@@ -204,10 +235,13 @@ func (s *System) RunDefendedThreads(inputs [][]byte, patches *patch.Set) ([]*pro
 	if err != nil {
 		return nil, defense.Stats{}, fmt.Errorf("core: creating space: %w", err)
 	}
+	tel := s.scope()
+	space.SetTelemetry(tel)
 	backend, err := defense.NewBackend(space, defense.Config{
 		Mode:       defense.ModeFull,
 		Patches:    patches,
 		QueueQuota: s.opts.QueueQuota,
+		Telemetry:  tel,
 	})
 	if err != nil {
 		return nil, defense.Stats{}, fmt.Errorf("core: creating defended backend: %w", err)
@@ -229,9 +263,32 @@ func (s *System) RunDefendedThreads(inputs [][]byte, patches *patch.Set) ([]*pro
 // CCID subspace, bounding per-run memory to ~1/n of the freed bytes.
 func (s *System) GeneratePatchesPartitioned(attackInput []byte, n int) (*analysis.Report, error) {
 	a := &analysis.Analyzer{
-		Coder:    s.coder,
-		MaxSteps: s.opts.MaxSteps,
-		Engine:   s.opts.Engine,
+		Coder:        s.coder,
+		MaxSteps:     s.opts.MaxSteps,
+		Engine:       s.opts.Engine,
+		ShadowConfig: shadow.Config{Telemetry: s.scope()},
 	}
 	return a.AnalyzePartitioned(s.program, attackInput, n)
+}
+
+// attachQuantumTelemetry samples the backend's virtual-cycle
+// accumulator at quantum boundaries (every 256 statements), recording
+// one CtrQuanta tick and a HistQuantumCycles observation per quantum.
+// A nil scope leaves the hook seam untouched.
+func attachQuantumTelemetry(it prog.Exec, backend prog.HeapBackend, tel *telemetry.Scope) {
+	if tel == nil {
+		return
+	}
+	const every = 256
+	var last uint64
+	prog.SetQuantumHook(it, every, func() {
+		now := backend.Cycles()
+		if now < last {
+			last = now
+			return
+		}
+		tel.Inc(telemetry.CtrQuanta)
+		tel.Observe(telemetry.HistQuantumCycles, now-last)
+		last = now
+	})
 }

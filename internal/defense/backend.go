@@ -64,16 +64,18 @@ func (b *Backend) Realloc(ccid, ptr, size uint64) (uint64, error) {
 	return b.def.Realloc(ccid, ptr, size)
 }
 
-// Free implements prog.HeapBackend.
-func (b *Backend) Free(ptr, _ uint64) error {
-	return b.def.Free(ptr)
+// Free implements prog.HeapBackend; the free's CCID flows to telemetry
+// so double-free rejections are attributed to the freeing context.
+func (b *Backend) Free(ptr, ccid uint64) error {
+	return b.def.FreeCtx(ptr, ccid)
 }
 
 // Load implements prog.HeapBackend; guard pages fault here.
-func (b *Backend) Load(addr, n, _ uint64) (prog.Value, error) {
+func (b *Backend) Load(addr, n, ccid uint64) (prog.Value, error) {
 	b.cycles += prog.CycMemOp + n/prog.CycBytesPerCycle
 	data, err := b.space.Read(addr, n)
 	if err != nil {
+		b.def.noteAccessFault(err, ccid)
 		return prog.Value{}, err
 	}
 	return prog.Value{Bytes: data}, nil
@@ -81,7 +83,7 @@ func (b *Backend) Load(addr, n, _ uint64) (prog.Value, error) {
 
 // LoadInto implements prog.BulkLoader, reusing dst's byte capacity;
 // guard pages fault here exactly as in Load.
-func (b *Backend) LoadInto(dst *prog.Value, addr, n, _ uint64) error {
+func (b *Backend) LoadInto(dst *prog.Value, addr, n, ccid uint64) error {
 	b.cycles += prog.CycMemOp + n/prog.CycBytesPerCycle
 	if uint64(cap(dst.Bytes)) >= n {
 		dst.Bytes = dst.Bytes[:n]
@@ -90,25 +92,33 @@ func (b *Backend) LoadInto(dst *prog.Value, addr, n, _ uint64) error {
 	}
 	dst.Valid = nil // defended loads carry no shadow
 	dst.Origin = nil
-	return b.space.ReadInto(addr, dst.Bytes)
+	err := b.space.ReadInto(addr, dst.Bytes)
+	b.def.noteAccessFault(err, ccid)
+	return err
 }
 
 // Store implements prog.HeapBackend; guard pages fault here.
-func (b *Backend) Store(addr uint64, v prog.Value, _ uint64) error {
+func (b *Backend) Store(addr uint64, v prog.Value, ccid uint64) error {
 	b.cycles += prog.CycMemOp + uint64(len(v.Bytes))/prog.CycBytesPerCycle
-	return b.space.Write(addr, v.Bytes)
+	err := b.space.Write(addr, v.Bytes)
+	b.def.noteAccessFault(err, ccid)
+	return err
 }
 
 // Memcpy implements prog.HeapBackend.
-func (b *Backend) Memcpy(dst, src, n, _ uint64) error {
+func (b *Backend) Memcpy(dst, src, n, ccid uint64) error {
 	b.cycles += prog.CycMemOp + n/prog.CycBytesPerCycle
-	return b.space.Memmove(dst, src, n)
+	err := b.space.Memmove(dst, src, n)
+	b.def.noteAccessFault(err, ccid)
+	return err
 }
 
 // Memset implements prog.HeapBackend.
-func (b *Backend) Memset(addr uint64, c byte, n, _ uint64) error {
+func (b *Backend) Memset(addr uint64, c byte, n, ccid uint64) error {
 	b.cycles += prog.CycMemOp + n/prog.CycBytesPerCycle
-	return b.space.Memset(addr, c, n)
+	err := b.space.Memset(addr, c, n)
+	b.def.noteAccessFault(err, ccid)
+	return err
 }
 
 // CheckUse implements prog.HeapBackend: online execution performs no

@@ -35,6 +35,7 @@ import (
 	"heaptherapy/internal/heapsim"
 	"heaptherapy/internal/mem"
 	"heaptherapy/internal/patch"
+	"heaptherapy/internal/telemetry"
 )
 
 // Metadata word field layout.
@@ -105,6 +106,12 @@ type Config struct {
 	// QueueQuota bounds the deferred-free FIFO in bytes
 	// (0 = DefaultQueueQuota).
 	QueueQuota uint64
+	// Telemetry, when non-nil, receives defense counters (patch hits,
+	// guard pages, zero fills, deferred frees, quota evictions, double
+	// frees), a patch-lookup cost histogram, and trace events for
+	// defense-relevant incidents. Nil (the default) disables telemetry
+	// at the cost of one predictable branch per instrumentation point.
+	Telemetry *telemetry.Scope
 }
 
 // Stats counts defense activity.
@@ -179,6 +186,13 @@ type Defender struct {
 
 	// gen counts patch-table (re)establishments; see TableGeneration.
 	gen uint64
+
+	// tel is Config.Telemetry; nil disables instrumentation.
+	tel *telemetry.Scope
+	// patchHits counts allocations per installed patch key, maintained
+	// only when telemetry is attached (patched allocations are rare, so
+	// the map write is off the common path).
+	patchHits map[patch.Key]uint64
 }
 
 // New creates a defense layer over a fresh heap in space. Loading the
@@ -195,7 +209,7 @@ func New(space *mem.Space, cfg Config) (*Defender, error) {
 	if cfg.QueueQuota == 0 {
 		cfg.QueueQuota = DefaultQueueQuota
 	}
-	d := &Defender{space: space, cfg: cfg}
+	d := &Defender{space: space, cfg: cfg, tel: cfg.Telemetry}
 	if err := d.initTable(); err != nil {
 		return nil, err
 	}
@@ -203,6 +217,10 @@ func New(space *mem.Space, cfg Config) (*Defender, error) {
 	if err != nil {
 		return nil, fmt.Errorf("defense: creating heap: %w", err)
 	}
+	// The owned heap reports into the same scope, giving allocator-level
+	// counts alongside the defense-level ones. Callers of
+	// NewWithAllocator attach telemetry to their allocator themselves.
+	h.SetTelemetry(cfg.Telemetry)
 	d.heap = h
 	d.under = h
 	return d, nil
@@ -249,7 +267,7 @@ func NewWithAllocator(space *mem.Space, under heapsim.Allocator, cfg Config) (*D
 	if cfg.QueueQuota == 0 {
 		cfg.QueueQuota = DefaultQueueQuota
 	}
-	d := &Defender{space: space, cfg: cfg, under: under}
+	d := &Defender{space: space, cfg: cfg, under: under, tel: cfg.Telemetry}
 	if err := d.initTable(); err != nil {
 		return nil, err
 	}
@@ -275,6 +293,35 @@ func (d *Defender) Stats() Stats {
 	s := d.stats
 	s.QueueBytes = d.queueBytes
 	return s
+}
+
+// Telemetry returns the attached telemetry scope (nil when disabled).
+func (d *Defender) Telemetry() *telemetry.Scope { return d.tel }
+
+// PatchHits returns this Defender's per-patch allocation hit counts:
+// how many allocations matched each installed {FUN, CCID} key. It is
+// populated only while telemetry is attached and returns nil otherwise.
+// With a shared sealed table these are still per-Defender counts;
+// fleet-wide totals come from SealedTable hit counting.
+func (d *Defender) PatchHits() map[patch.Key]uint64 { return d.patchHits }
+
+// noteAccessFault classifies a memory-access error from a defended
+// execution: a fault on a ProtNone page is a guard-page hit — the
+// defense's overflow containment firing — and is counted and traced
+// with the access's calling context. Other faults (wild pointers,
+// unmapped addresses) are left to the space's own fault telemetry.
+func (d *Defender) noteAccessFault(err error, ccid uint64) {
+	if d.tel == nil || err == nil {
+		return
+	}
+	fe, ok := mem.AsFault(err)
+	if !ok {
+		return
+	}
+	if p, perr := d.space.ProtAt(fe.Addr); perr == nil && p == mem.ProtNone {
+		d.tel.Inc(telemetry.CtrGuardFaults)
+		d.tel.Event(telemetry.EvGuardFault, ccid, fe.Addr, fe.Len)
+	}
 }
 
 // Malloc allocates size bytes under calling context ccid.
@@ -348,6 +395,9 @@ func (d *Defender) allocate(fn heapsim.AllocFn, ccid, size, align uint64, isReal
 		types, probes, lerr = d.table.lookup(patch.Key{Fn: lookupFn, CCID: ccid})
 	}
 	d.cycles += cycLookup * uint64(probes)
+	if d.tel != nil {
+		d.tel.Observe(telemetry.HistLookupCycles, cycLookup*uint64(probes))
+	}
 	if lerr != nil {
 		// A faulting table read means the defense configuration is gone
 		// or tampered with; treating it as "no patch installed" would
@@ -357,6 +407,15 @@ func (d *Defender) allocate(fn heapsim.AllocFn, ccid, size, align uint64, isReal
 	}
 	if types != 0 {
 		d.stats.PatchedAllocs++
+		if d.tel != nil {
+			d.tel.Inc(telemetry.CtrPatchHits)
+			site := telemetry.PackSite(uint8(lookupFn), ccid)
+			d.tel.Event(telemetry.EvPatchHit, ccid, site, size)
+			if d.patchHits == nil {
+				d.patchHits = make(map[patch.Key]uint64)
+			}
+			d.patchHits[patch.Key{Fn: lookupFn, CCID: ccid}]++
+		}
 	}
 
 	d.cycles += cycMetadata
@@ -384,6 +443,7 @@ func (d *Defender) allocate(fn heapsim.AllocFn, ccid, size, align uint64, isReal
 
 	if types.Has(patch.TypeUninitRead) {
 		d.stats.ZeroFills++
+		d.tel.Inc(telemetry.CtrZeroFills)
 		d.cycles += size / prog0CycBytesPerCycle
 		if err := d.space.RawMemset(p, 0, size); err != nil {
 			return 0, fmt.Errorf("defense: zero fill: %w", err)
@@ -497,6 +557,7 @@ func (d *Defender) installGuard(user, guard, size uint64) error {
 		return fmt.Errorf("defense: protecting guard page: %w", err)
 	}
 	d.stats.GuardPages++
+	d.tel.Inc(telemetry.CtrGuardPages)
 	d.cycles += cycMprotect
 	return nil
 }
@@ -571,7 +632,13 @@ func (d *Defender) decodeMeta(user uint64) (metaInfo, error) {
 }
 
 // Free releases a buffer following the Figure 7 protocol.
-func (d *Defender) Free(user uint64) error {
+func (d *Defender) Free(user uint64) error { return d.FreeCtx(user, 0) }
+
+// FreeCtx is Free carrying the calling context of the free() call, so
+// telemetry can attribute double-free rejections and quota evictions to
+// the context that triggered them. The defense logic itself never uses
+// the CCID — patches are keyed by allocation context, not free context.
+func (d *Defender) FreeCtx(user, ccid uint64) error {
 	if user == 0 {
 		return nil
 	}
@@ -583,6 +650,10 @@ func (d *Defender) Free(user uint64) error {
 	d.cycles += cycMetadata // decode the metadata word, recover pi
 	mi, err := d.decodeMeta(user)
 	if err != nil {
+		if d.tel != nil && errors.Is(err, ErrDoubleFree) {
+			d.tel.Inc(telemetry.CtrDoubleFrees)
+			d.tel.Event(telemetry.EvDoubleFree, ccid, user, 0)
+		}
 		return err
 	}
 	if mi.types&bitUAF != 0 {
@@ -594,12 +665,19 @@ func (d *Defender) Free(user uint64) error {
 		d.queue = append(d.queue, queued{base: mi.base, user: user, size: mi.size})
 		d.queueBytes += mi.size
 		d.stats.DeferredFrees++
+		d.tel.Inc(telemetry.CtrDeferredFrees)
 		d.cycles += cycQueue
 		for d.queueBytes > d.cfg.QueueQuota && len(d.queue) > 0 {
 			old := d.queue[0]
 			d.queue = d.queue[1:]
 			d.queueBytes -= old.size
 			d.stats.QueueEvictions++
+			if d.tel != nil {
+				// The quota forced this block back into circulation: the
+				// quarantine refused to keep holding it.
+				d.tel.Inc(telemetry.CtrQuarantineRefusals)
+				d.tel.Event(telemetry.EvQuarantineRefusal, ccid, old.user, old.size)
+			}
 			if err := d.under.Free(old.base); err != nil {
 				return fmt.Errorf("defense: releasing deferred block: %w", err)
 			}
@@ -723,6 +801,7 @@ func (d *Defender) Reset() error {
 	d.queueBytes = 0
 	d.stats = Stats{}
 	d.cycles = 0
+	clear(d.patchHits)
 	if err := d.initTable(); err != nil {
 		return fmt.Errorf("defense: reset: %w", err)
 	}

@@ -1,6 +1,9 @@
 package defense
 
 import (
+	"sync/atomic"
+
+	"heaptherapy/internal/heapsim"
 	"heaptherapy/internal/patch"
 )
 
@@ -22,6 +25,14 @@ type SealedTable struct {
 	slots   []uint64 // interleaved [key, value] pairs; len = 2 * nslots
 	mask    uint64   // nslots - 1 (nslots is a power of two)
 	entries int
+
+	// hits, when enabled, counts key matches per slot across every
+	// worker probing this table — the fleet-wide per-patch hit tally.
+	// The atomic add sits inside the key-match branch only, so the
+	// (overwhelmingly common) miss path is unchanged. The slice itself
+	// is set before the table is shared and never reassigned, keeping
+	// the structure immutable in layout even though the counters mutate.
+	hits []atomic.Uint64
 }
 
 // SealTable builds the immutable shared table from a patch set, using
@@ -76,6 +87,9 @@ func (t *SealedTable) Lookup(k patch.Key) (patch.TypeMask, int) {
 			return 0, probes
 		}
 		if cur == key {
+			if t.hits != nil {
+				t.hits[i&t.mask].Add(1)
+			}
 			return patch.TypeMask(t.slots[off+1]), probes
 		}
 	}
@@ -83,3 +97,34 @@ func (t *SealedTable) Lookup(k patch.Key) (patch.TypeMask, int) {
 
 // Entries reports the number of patches sealed into the table.
 func (t *SealedTable) Entries() int { return t.entries }
+
+// EnableHitCounts allocates the per-slot hit counters. It must be
+// called before the table is shared across goroutines (typically right
+// after SealTable); calling it again is a no-op.
+func (t *SealedTable) EnableHitCounts() {
+	if t.hits == nil {
+		t.hits = make([]atomic.Uint64, len(t.slots)/2)
+	}
+}
+
+// HitCounts reports the fleet-wide lookup hits per installed patch key,
+// or nil when hit counting was never enabled. It may be called while
+// workers are still probing; each count is read atomically.
+func (t *SealedTable) HitCounts() map[patch.Key]uint64 {
+	if t.hits == nil {
+		return nil
+	}
+	out := make(map[patch.Key]uint64, t.entries)
+	for slot := range t.hits {
+		n := t.hits[slot].Load()
+		if n == 0 {
+			continue
+		}
+		key := t.slots[slot*2]
+		if key == tableKeySentinel {
+			key = 0
+		}
+		out[patch.Key{Fn: heapsim.AllocFn(key >> 56), CCID: key & (1<<56 - 1)}] = n
+	}
+	return out
+}

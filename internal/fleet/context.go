@@ -7,6 +7,7 @@ import (
 	"heaptherapy/internal/heapsim"
 	"heaptherapy/internal/mem"
 	"heaptherapy/internal/prog"
+	"heaptherapy/internal/telemetry"
 )
 
 // resettableBackend is what a worker needs from its execution
@@ -26,6 +27,12 @@ type Context struct {
 	backend  resettableBackend
 	defender *defense.Defender      // nil for native contexts
 	pool     *heapsim.PoolAllocator // non-nil only for AllocPool
+
+	// tel is this worker's telemetry scope (its tenant identity);
+	// pooled reuse keeps the scope, so a context's counters accumulate
+	// across every request it ever serves. Nil when the fleet has no
+	// collector.
+	tel *telemetry.Scope
 }
 
 // Space returns the context's private address space.
@@ -38,6 +45,10 @@ func (c *Context) Backend() prog.HeapBackend { return c.backend }
 // Defender returns the context's defense layer, nil for a native
 // context.
 func (c *Context) Defender() *defense.Defender { return c.defender }
+
+// Telemetry returns the context's telemetry scope, nil when the fleet
+// runs without a collector.
+func (c *Context) Telemetry() *telemetry.Scope { return c.tel }
 
 // Reset recycles the context to its post-construction state. The
 // order is load-bearing: the space rewinds first (zeroing only dirty
@@ -80,10 +91,17 @@ func (f *Fleet) newContext() (*Context, error) {
 		return nil, fmt.Errorf("fleet: worker space: %w", err)
 	}
 	c := &Context{space: space}
+	if f.cfg.Telemetry != nil {
+		c.tel = f.cfg.Telemetry.Scope()
+		space.SetTelemetry(c.tel)
+	}
 	if !f.cfg.Defended {
 		nb, err := prog.NewNativeBackend(space)
 		if err != nil {
 			return nil, fmt.Errorf("fleet: native backend: %w", err)
+		}
+		if h := nb.Heap(); h != nil {
+			h.SetTelemetry(c.tel)
 		}
 		c.backend = nb
 		f.contextsBuilt.Add(1)
@@ -94,6 +112,7 @@ func (f *Fleet) newContext() (*Context, error) {
 		Mode:        f.cfg.Mode,
 		SharedTable: f.table,
 		QueueQuota:  f.cfg.QueueQuota,
+		Telemetry:   c.tel,
 	}
 	switch f.cfg.Alloc {
 	case AllocPool:
@@ -101,6 +120,7 @@ func (f *Fleet) newContext() (*Context, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fleet: pool allocator: %w", err)
 		}
+		pool.SetTelemetry(c.tel)
 		b, err := defense.NewBackendWithAllocator(space, pool, dcfg)
 		if err != nil {
 			return nil, fmt.Errorf("fleet: defended backend: %w", err)

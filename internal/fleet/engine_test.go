@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 
 	"heaptherapy/internal/encoding"
@@ -165,7 +166,7 @@ func TestFleetServeEngines(t *testing.T) {
 	// ContextsBuilt depends on pool behavior, not the engine contract;
 	// everything else must match exactly.
 	tstats.ContextsBuilt, vstats.ContextsBuilt = 0, 0
-	if tstats != vstats {
+	if !reflect.DeepEqual(tstats, vstats) {
 		t.Errorf("fleet stats diverge\ntree: %+v\nvm:   %+v", tstats, vstats)
 	}
 }

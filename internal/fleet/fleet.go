@@ -35,6 +35,7 @@ import (
 	"heaptherapy/internal/mem"
 	"heaptherapy/internal/patch"
 	"heaptherapy/internal/prog"
+	"heaptherapy/internal/telemetry"
 )
 
 // AllocKind selects the allocator beneath each worker's defense layer.
@@ -86,6 +87,14 @@ type Config struct {
 	// with its own private VM state — the same shape as the sealed
 	// patch table: one read-only artifact, many readers.
 	Engine prog.Engine
+	// Telemetry, when non-nil, collects per-worker counters, histograms
+	// (allocation sizes, patch-lookup cost, per-quantum cycles), and
+	// defense trace events. Each worker context binds its own scope, so
+	// the collector's per-shard breakdown is the per-tenant aggregation;
+	// Stats surfaces the merged snapshot. Enabling telemetry on a
+	// defended fleet also turns on per-patch hit counting on the shared
+	// sealed table.
+	Telemetry *telemetry.Collector
 }
 
 // Stats is a snapshot of fleet-wide activity: request accounting plus
@@ -105,6 +114,13 @@ type Stats struct {
 	Resets uint64
 	// Defense is the sum of all workers' defense counters.
 	Defense defense.Stats
+	// Telemetry is the merged telemetry snapshot, nil when the fleet
+	// runs without a collector.
+	Telemetry *telemetry.Snapshot
+	// PatchHits is the fleet-wide per-patch lookup hit tally from the
+	// shared sealed table; nil unless telemetry is enabled on a
+	// defended fleet.
+	PatchHits map[patch.Key]uint64
 }
 
 // Fleet is the parallel serving runtime. Construct with New; a Fleet
@@ -142,6 +158,10 @@ func New(cfg Config) *Fleet {
 	f := &Fleet{cfg: cfg}
 	if cfg.Defended {
 		f.table = defense.SealTable(cfg.Patches)
+		if cfg.Telemetry != nil {
+			// Must happen before any worker shares the table.
+			f.table.EnableHitCounts()
+		}
 	}
 	return f
 }
@@ -157,7 +177,17 @@ func (f *Fleet) Table() *defense.SealedTable { return f.table }
 // each counter is read atomically; the set is not a single atomic
 // snapshot (call after Serve returns for exact totals).
 func (f *Fleet) Stats() Stats {
+	var snap *telemetry.Snapshot
+	var hits map[patch.Key]uint64
+	if f.cfg.Telemetry != nil {
+		snap = f.cfg.Telemetry.Snapshot()
+		if f.table != nil {
+			hits = f.table.HitCounts()
+		}
+	}
 	return Stats{
+		Telemetry:     snap,
+		PatchHits:     hits,
 		Requests:      f.requests.Load(),
 		Crashes:       f.crashes.Load(),
 		ContextsBuilt: f.contextsBuilt.Load(),
@@ -263,6 +293,7 @@ func (f *Fleet) serveWorker(p *prog.Program, compiled *prog.Compiled, coder *enc
 		f.Release(ctx)
 		return fmt.Errorf("fleet: interpreter: %w", err)
 	}
+	attachQuantumTelemetry(it, ctx.backend, ctx.tel)
 	for {
 		i := int(next.Add(1)) - 1
 		if i >= len(inputs) {
@@ -274,8 +305,10 @@ func (f *Fleet) serveWorker(p *prog.Program, compiled *prog.Compiled, coder *enc
 		}
 		results[i] = res
 		f.requests.Add(1)
+		ctx.tel.Inc(telemetry.CtrRequests)
 		if res.Crashed() {
 			f.crashes.Add(1)
+			ctx.tel.Inc(telemetry.CtrCrashes)
 		}
 		if ctx.defender != nil {
 			f.merge(ctx.defender.Stats())
@@ -289,4 +322,31 @@ func (f *Fleet) serveWorker(p *prog.Program, compiled *prog.Compiled, coder *enc
 	}
 	f.Release(ctx)
 	return nil
+}
+
+// telemetryQuantum is the statement interval at which a telemetry-
+// enabled worker samples its backend's virtual-cycle accumulator.
+const telemetryQuantum = 256
+
+// attachQuantumTelemetry hooks quantum-boundary timing onto it: every
+// telemetryQuantum statements the worker counts one quantum and
+// histograms the virtual cycles its backend charged since the previous
+// boundary. A nil scope leaves the execution unhooked, so untelemetered
+// fleets keep the hook seam free for other users (e.g. the campaign
+// invariant walker).
+func attachQuantumTelemetry(it prog.Exec, backend prog.HeapBackend, tel *telemetry.Scope) {
+	if tel == nil {
+		return
+	}
+	var last uint64
+	prog.SetQuantumHook(it, telemetryQuantum, func() {
+		now := backend.Cycles()
+		if now < last {
+			last = now // backend was recycled between quanta
+			return
+		}
+		tel.Inc(telemetry.CtrQuanta)
+		tel.Observe(telemetry.HistQuantumCycles, now-last)
+		last = now
+	})
 }

@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"heaptherapy/internal/mem"
+	"heaptherapy/internal/telemetry"
 )
 
 // AllocFn identifies the allocation API used to request a buffer. The
@@ -181,6 +182,12 @@ type Heap struct {
 	live map[uint64]uint64 // payload addr -> chunk addr, for validation
 
 	stats Stats
+
+	// tel, when non-nil, counts physical chunk registrations and
+	// releases (so a moving realloc counts as one alloc and one free,
+	// unlike Stats which nets those out) plus an allocation-size
+	// histogram.
+	tel *telemetry.Scope
 }
 
 var _ Allocator = (*Heap)(nil)
@@ -229,6 +236,9 @@ func (h *Heap) Reset() error {
 
 // Stats returns a snapshot of allocator statistics.
 func (h *Heap) Stats() Stats { return h.stats }
+
+// SetTelemetry attaches a telemetry scope; nil detaches.
+func (h *Heap) SetTelemetry(tel *telemetry.Scope) { h.tel = tel }
 
 // --- chunk header helpers -------------------------------------------------
 
@@ -428,6 +438,10 @@ func (h *Heap) finishAlloc(c uint64) uint64 {
 	p := payload(c)
 	h.live[p] = c
 	userBytes := h.chunkSize(c) - headerSize
+	if h.tel != nil {
+		h.tel.Inc(telemetry.CtrAllocs)
+		h.tel.Observe(telemetry.HistAllocSize, userBytes)
+	}
 	h.stats.InUseBytes += userBytes
 	h.stats.InUseChunks++
 	if h.stats.InUseBytes > h.stats.PeakInUseBytes {
@@ -748,6 +762,9 @@ func (h *Heap) Free(ptr uint64) error {
 		return fmt.Errorf("%w: free of %#x", ErrInvalidPointer, ptr)
 	}
 	delete(h.live, ptr)
+	if h.tel != nil {
+		h.tel.Inc(telemetry.CtrFrees)
+	}
 	h.stats.Frees++
 	h.stats.InUseBytes -= h.chunkSize(c) - headerSize
 	h.stats.InUseChunks--

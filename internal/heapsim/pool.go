@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"heaptherapy/internal/mem"
+	"heaptherapy/internal/telemetry"
 )
 
 // PoolAllocator is a second, structurally different allocator: a
@@ -26,6 +27,10 @@ type PoolAllocator struct {
 	live      map[uint64]poolBlock
 
 	stats Stats
+
+	// tel mirrors Heap.tel: physical block grants and releases plus the
+	// allocation-size histogram.
+	tel *telemetry.Scope
 }
 
 // poolBlock records a live allocation.
@@ -68,6 +73,9 @@ func (p *PoolAllocator) Reset() {
 
 // Stats returns a snapshot of allocator statistics.
 func (p *PoolAllocator) Stats() Stats { return p.stats }
+
+// SetTelemetry attaches a telemetry scope; nil detaches.
+func (p *PoolAllocator) SetTelemetry(tel *telemetry.Scope) { p.tel = tel }
 
 // classFor returns the class index for a size, or -1 for large.
 func classFor(size uint64) int {
@@ -131,6 +139,10 @@ func (p *PoolAllocator) alloc(size uint64) (uint64, error) {
 }
 
 func (p *PoolAllocator) bump(userBytes uint64) {
+	if p.tel != nil {
+		p.tel.Inc(telemetry.CtrAllocs)
+		p.tel.Observe(telemetry.HistAllocSize, userBytes)
+	}
 	p.stats.InUseBytes += userBytes
 	p.stats.InUseChunks++
 	if p.stats.InUseBytes > p.stats.PeakInUseBytes {
@@ -224,6 +236,9 @@ func (p *PoolAllocator) Free(ptr uint64) error {
 		return fmt.Errorf("%w: pool free of %#x", ErrInvalidPointer, ptr)
 	}
 	delete(p.live, ptr)
+	if p.tel != nil {
+		p.tel.Inc(telemetry.CtrFrees)
+	}
 	p.stats.Frees++
 	p.stats.InUseBytes -= blk.size
 	p.stats.InUseChunks--

@@ -15,6 +15,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/bits"
+
+	"heaptherapy/internal/telemetry"
 )
 
 // PageSize is the size of a virtual page in bytes. It matches the 4 KiB
@@ -121,6 +123,11 @@ type Space struct {
 	dirty []uint64
 
 	faults uint64 // count of faults reported, for diagnostics
+
+	// tel, when non-nil, receives a counter increment and a trace event
+	// per fault. It is consulted only on the refCheck slow path, so the
+	// two-comparison fast path in check is unaffected.
+	tel *telemetry.Scope
 }
 
 // Config controls Space construction.
@@ -194,6 +201,24 @@ func (s *Space) Size() uint64 { return uint64(len(s.data)) }
 
 // Faults returns the number of faults this space has reported.
 func (s *Space) Faults() uint64 { return s.faults }
+
+// SetTelemetry attaches a telemetry scope; every fault the space
+// reports is then counted and traced. A nil scope detaches.
+func (s *Space) SetTelemetry(tel *telemetry.Scope) { s.tel = tel }
+
+// fault records one fault in the space's own counter and, when a
+// telemetry scope is attached, as a CtrFaults increment plus an EvFault
+// trace event. The space has no calling-context knowledge, so the event
+// carries the access kind in the CCID field, the faulting address as
+// the site, and the access length as the argument; layers above (the
+// defense backend) attribute faults to contexts.
+func (s *Space) fault(addr, n uint64, kind AccessKind) {
+	s.faults++
+	if s.tel != nil {
+		s.tel.Inc(telemetry.CtrFaults)
+		s.tel.Event(telemetry.EvFault, uint64(kind), addr, n)
+	}
+}
 
 // Sbrk grows the mapped region by n bytes (rounded up to a page) and
 // returns the previous break address, which is the start of the newly
@@ -368,15 +393,15 @@ func (s *Space) refCheck(addr, n uint64, kind AccessKind) error {
 		return nil
 	}
 	if addr+n < addr { // overflow
-		s.faults++
+		s.fault(addr, n, kind)
 		return &FaultError{Addr: addr, Kind: kind, Len: n, Reason: "address range wraps"}
 	}
 	if !s.Contains(addr, n) {
-		s.faults++
 		first := addr
 		if addr >= s.base && addr < s.End() {
 			first = s.End()
 		}
+		s.fault(first, n, kind)
 		return &FaultError{Addr: first, Kind: kind, Len: n, Reason: "unmapped address"}
 	}
 	need := ProtRead
@@ -387,11 +412,11 @@ func (s *Space) refCheck(addr, n uint64, kind AccessKind) error {
 	lastPage := (addr + n - 1 - s.base) / PageSize
 	for p := firstPage; p <= lastPage; p++ {
 		if s.prot[p]&need == 0 {
-			s.faults++
 			faultAddr := s.base + p*PageSize
 			if faultAddr < addr {
 				faultAddr = addr
 			}
+			s.fault(faultAddr, n, kind)
 			return &FaultError{
 				Addr: faultAddr, Kind: kind, Len: n,
 				Reason: fmt.Sprintf("page protection %s forbids %s", s.prot[p], kind),

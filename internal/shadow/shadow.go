@@ -30,6 +30,7 @@ import (
 	"heaptherapy/internal/mem"
 	"heaptherapy/internal/patch"
 	"heaptherapy/internal/prog"
+	"heaptherapy/internal/telemetry"
 )
 
 // Defaults for Config.
@@ -57,6 +58,10 @@ type Config struct {
 	// the attack is replayed N times, each run deferring only one
 	// CCID subspace, so every run consumes ~1/N of the memory.
 	DeferFilter func(allocCCID uint64) bool
+	// Telemetry, when non-nil, receives a counter and trace event per
+	// recorded warning and per block the freed-block quarantine could
+	// not retain (filter rejection or quota eviction).
+	Telemetry *telemetry.Scope
 }
 
 // chunk tracks one live or freed heap buffer.
@@ -145,6 +150,9 @@ func New(space *mem.Space, cfg Config) (*Backend, error) {
 	if cfg.QueueQuota == 0 {
 		cfg.QueueQuota = DefaultQueueQuota
 	}
+	// Allocator-level counts flow into the same scope as the analysis
+	// events.
+	h.SetTelemetry(cfg.Telemetry)
 	return &Backend{
 		heap:     h,
 		space:    space,
@@ -495,6 +503,10 @@ func (b *Backend) Free(ptr, ccid uint64) error {
 		// partitioned replay with the complementary subspace catches
 		// it.
 		c.released = true
+		if tel := b.cfg.Telemetry; tel != nil {
+			tel.Inc(telemetry.CtrQuarantineRefusals)
+			tel.Event(telemetry.EvQuarantineRefusal, c.ccid, c.user, c.size)
+		}
 		b.markRange(c.base, c.end()+b.cfg.RedZone-c.base, true, 0xFF, 0)
 		if err := b.heap.Free(c.base); err != nil {
 			return fmt.Errorf("shadow: releasing filtered block: %w", err)
@@ -509,6 +521,10 @@ func (b *Backend) Free(ptr, ccid uint64) error {
 		b.queue = b.queue[1:]
 		b.queueBytes -= old.size
 		old.released = true
+		if tel := b.cfg.Telemetry; tel != nil {
+			tel.Inc(telemetry.CtrQuarantineRefusals)
+			tel.Event(telemetry.EvQuarantineRefusal, old.ccid, old.user, old.size)
+		}
 		if err := b.heap.Free(old.base); err != nil {
 			return fmt.Errorf("shadow: releasing deferred block: %w", err)
 		}

@@ -6,6 +6,7 @@ import (
 	"heaptherapy/internal/heapsim"
 	"heaptherapy/internal/patch"
 	"heaptherapy/internal/prog"
+	"heaptherapy/internal/telemetry"
 )
 
 // Warning is one detected memory-safety violation. Warnings carry the
@@ -51,6 +52,14 @@ func (b *Backend) record(w Warning, key warnKey) {
 	}
 	b.warnSeen[key] = true
 	b.warnings = append(b.warnings, w)
+	if tel := b.cfg.Telemetry; tel != nil {
+		tel.Inc(telemetry.CtrShadowWarnings)
+		// The site is the buffer's allocation identity — the patch key
+		// the generator would emit — while the CCID field carries the
+		// faulting access's context.
+		site := telemetry.PackSite(uint8(w.AllocFn), w.AllocCCID)
+		tel.Event(telemetry.EvShadowWarning, w.AccessCCID, site, w.Addr)
+	}
 }
 
 // recordAccessViolation classifies an inaccessible-byte access and

@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// ring is the lock-free bounded event trace: a flight recorder that
+// retains the most recent capacity events. Writers claim a global
+// position with one atomic add and publish the slot with a per-slot
+// sequence word; a reader validates each slot's sequence before and
+// after copying it, so a concurrent snapshot never observes a torn
+// event (it skips slots caught mid-write instead).
+//
+// Every slot word is accessed atomically, which keeps the protocol
+// clean under the race detector; no locks, no allocation on the write
+// path.
+type ring struct {
+	slots []eslot
+	mask  uint64
+	pos   atomic.Uint64 // next position to claim; also the total pushed
+}
+
+// eslot is one ring entry. seq is 0 while empty or mid-write and
+// position+1 once published; because positions are globally unique, a
+// reader that sees the same nonzero seq before and after copying the
+// payload words has a consistent event.
+type eslot struct {
+	seq  atomic.Uint64
+	meta atomic.Uint64 // kind in the low byte, tenant above
+	ccid atomic.Uint64
+	site atomic.Uint64
+	arg  atomic.Uint64
+}
+
+func (r *ring) init(capacity int) {
+	r.slots = make([]eslot, capacity)
+	r.mask = uint64(capacity - 1)
+}
+
+// push claims the next position and publishes one event, overwriting
+// the oldest entry once the ring has wrapped.
+func (r *ring) push(kind EventKind, tenant uint32, ccid, site, arg uint64) {
+	pos := r.pos.Add(1) - 1
+	s := &r.slots[pos&r.mask]
+	s.seq.Store(0) // invalidate for concurrent readers
+	s.meta.Store(uint64(kind) | uint64(tenant)<<8)
+	s.ccid.Store(ccid)
+	s.site.Store(site)
+	s.arg.Store(arg)
+	s.seq.Store(pos + 1)
+}
+
+// total reports how many events have ever been pushed (retained or
+// overwritten).
+func (r *ring) total() uint64 { return r.pos.Load() }
+
+// snapshot copies every currently consistent slot, oldest first.
+// Slots caught mid-write are skipped; with quiesced writers the result
+// is exactly the last min(total, capacity) events.
+func (r *ring) snapshot() []Event {
+	out := make([]Event, 0, len(r.slots))
+	for i := range r.slots {
+		s := &r.slots[i]
+		v1 := s.seq.Load()
+		if v1 == 0 {
+			continue
+		}
+		meta := s.meta.Load()
+		e := Event{
+			Seq:    v1 - 1,
+			Kind:   EventKind(meta & 0xFF),
+			Tenant: uint32(meta >> 8),
+			CCID:   s.ccid.Load(),
+			Site:   s.site.Load(),
+			Arg:    s.arg.Load(),
+		}
+		if s.seq.Load() != v1 {
+			continue // overwritten while copying
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
