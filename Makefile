@@ -11,7 +11,7 @@ RACE_PKGS := ./internal/defense/ ./internal/prog/ ./internal/fleet/ ./internal/c
 COVER_GATE_PKGS := ./internal/heapsim/ ./internal/campaign/ ./internal/defense/ ./internal/shadow/ ./internal/mem/ ./internal/telemetry/
 COVER_MIN := 80
 
-.PHONY: all build test race vet fmt-check bench bench-json bench-fleet bench-vm bench-smoke bench-telemetry check cover corpus fuzz-smoke
+.PHONY: all build test race vet fmt-check bench bench-json bench-fleet bench-vm bench-encoding bench-smoke bench-telemetry check cover corpus fuzz-smoke
 
 all: check
 
@@ -54,6 +54,16 @@ BENCHTIME ?= 1s
 bench-vm:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngines|BenchmarkCompile' -benchmem \
 		-benchtime $(BENCHTIME) ./internal/prog/
+
+# Encoding-path benchmarks and allocation pins: planner scratch reuse,
+# the per-call update arithmetic (0 allocs/op), and the end-to-end
+# encoded-call path on both engines, plus the dense-vs-reference
+# differential tests that prove the dense representations equivalent.
+bench-encoding:
+	$(GO) test -run 'DenseEquivalence|UpdatePathZeroAlloc|PlannerSteadyState|EncodedCall' -count 1 -v \
+		./internal/encoding/ ./internal/prog/ | grep -E '^(--- (PASS|FAIL)|ok|FAIL)'
+	$(GO) test -run '^$$' -bench 'BenchmarkEncodingPlan|BenchmarkCoderUpdate|BenchmarkEncodedCall' -benchmem \
+		-benchtime $(BENCHTIME) ./internal/encoding/ ./internal/prog/
 
 # Telemetry overhead pins: the disabled hot path must be 0 allocs/op
 # (AllocsPerRun tests in defense/mem/telemetry) and the fleet-level

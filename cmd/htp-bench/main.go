@@ -33,7 +33,7 @@ func run(args []string) error {
 	quick := fs.Bool("quick", false, "trim sweeps for a fast run")
 	scale := fs.Uint64("scale", 0, "divisor for Table IV allocation counts (default 10000)")
 	jsonOut := fs.Bool("json", false, "emit per-experiment wall time and allocations as JSON instead of rendered tables")
-	engineName := fs.String("engine", "tree", "execution engine for measured runs: tree or vm (results are bit-identical; vm is faster)")
+	engineName := fs.String("engine", "vm", "execution engine for measured runs: tree or vm (results are bit-identical; vm is faster)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -168,6 +168,7 @@ func run(args []string) error {
 			GOOS:        runtime.GOOS,
 			GOARCH:      runtime.GOARCH,
 			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			Engine:      engine.String(),
 			Quick:       *quick,
 			Experiments: results,
 		})
@@ -183,6 +184,7 @@ type benchReport struct {
 	GOOS        string        `json:"goos"`
 	GOARCH      string        `json:"goarch"`
 	GOMAXPROCS  int           `json:"gomaxprocs"`
+	Engine      string        `json:"engine"`
 	Quick       bool          `json:"quick"`
 	Experiments []benchResult `json:"experiments"`
 }

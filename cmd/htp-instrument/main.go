@@ -119,7 +119,7 @@ func run(args []string) error {
 		}
 	}
 	if *dotOut != "" {
-		if err := os.WriteFile(*dotOut, []byte(g.DOT(targets, plan.Sites)), 0o644); err != nil {
+		if err := os.WriteFile(*dotOut, []byte(g.DOT(targets, plan.SiteSet())), 0o644); err != nil {
 			return fmt.Errorf("writing DOT: %w", err)
 		}
 		fmt.Printf("\nwrote %s plan rendering to %s\n", scheme, *dotOut)

@@ -141,8 +141,29 @@ func (g *Graph) SiteByLabel(label string) (SiteID, error) {
 // The analysis is a backward breadth-first search over incoming edges
 // and handles cycles (Section IV-A of the paper).
 func (g *Graph) ReachesTargets(targets []NodeID) []bool {
-	reaches := make([]bool, len(g.names))
-	queue := make([]NodeID, 0, len(targets))
+	return g.ReachesTargetsInto(nil, nil, targets)
+}
+
+// ReachesTargetsInto is ReachesTargets with caller-provided scratch:
+// reaches is reused as the result slice and queue as the BFS worklist
+// when their capacity suffices (their contents need not be zeroed).
+// It returns the result slice, which aliases reaches when it fit.
+// Planners call this in a loop per target, so reusing both buffers
+// makes repeated reachability queries allocation-free.
+func (g *Graph) ReachesTargetsInto(reaches []bool, queue []NodeID, targets []NodeID) []bool {
+	if cap(reaches) >= len(g.names) {
+		reaches = reaches[:len(g.names)]
+		for i := range reaches {
+			reaches[i] = false
+		}
+	} else {
+		reaches = make([]bool, len(g.names))
+	}
+	if queue == nil {
+		queue = make([]NodeID, 0, len(targets))
+	} else {
+		queue = queue[:0]
+	}
 	for _, t := range targets {
 		if !reaches[t] {
 			reaches[t] = true

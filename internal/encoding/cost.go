@@ -71,7 +71,7 @@ func Cost(g *callgraph.Graph, plan *Plan, kind EncoderKind, funcSize func(callgr
 		InstrumentedSites: plan.NumSites(),
 	}
 	withSites := make(map[callgraph.NodeID]bool)
-	for s := range plan.Sites {
+	for _, s := range plan.SiteIDs() {
 		withSites[g.Edge(s).From] = true
 	}
 	r.InstrumentedFuncs = len(withSites)

@@ -75,13 +75,15 @@ type Coder struct {
 
 	consts []uint64 // per site; meaningful only for instrumented sites
 
-	// Additive-encoder state for decoding.
-	numEnc     []uint64                    // contexts encodable from each node
-	dagOut     [][]callgraph.SiteID        // target-reaching non-back out-edges
-	reachesTgt map[callgraph.NodeID][]bool // per-target node reachability
-	isTarget   map[callgraph.NodeID]bool   // target set
-	targetBase map[callgraph.NodeID]uint64 // DeltaPath per-target base
-	backEdges  map[callgraph.SiteID]bool   // DFS back edges (additive only)
+	// Additive-encoder state for decoding, all held densely (indexed by
+	// NodeID or SiteID) so lookups on hot paths are array loads.
+	numEnc     []uint64             // contexts encodable from each node
+	dagOut     [][]callgraph.SiteID // target-reaching non-back out-edges
+	targetIdx  []int32              // node → index in plan.Targets, -1 if not a target
+	reachByTgt [][]bool             // per-target node reachability, by target index
+	isTarget   []bool               // target set, by node
+	targetBase []uint64             // DeltaPath per-target base, by node
+	backEdges  []bool               // DFS back edges by site (additive only)
 }
 
 // Precise reports whether the encoder guarantees collision-free CCIDs
@@ -101,7 +103,7 @@ func (c *Coder) TraversesBackEdge(path []callgraph.SiteID) bool {
 		return false
 	}
 	for _, s := range path {
-		if c.backEdges[s] {
+		if s >= 0 && int(s) < len(c.backEdges) && c.backEdges[s] {
 			return true
 		}
 	}
@@ -229,16 +231,21 @@ func (c *Coder) EncodePath(path []callgraph.SiteID) uint64 {
 func (c *Coder) numberAdditive() error {
 	g := c.g
 	reaches := g.ReachesTargets(c.plan.Targets)
-	c.isTarget = make(map[callgraph.NodeID]bool, len(c.plan.Targets))
-	for _, t := range c.plan.Targets {
+	c.isTarget = make([]bool, g.NumNodes())
+	c.targetIdx = make([]int32, g.NumNodes())
+	for i := range c.targetIdx {
+		c.targetIdx[i] = -1
+	}
+	for i, t := range c.plan.Targets {
 		c.isTarget[t] = true
+		c.targetIdx[t] = int32(i)
 	}
 
 	c.backEdges = c.findBackEdges()
 
 	// DeltaPath: per-target bases occupy disjoint high-bit ranges.
 	if c.kind == EncoderDeltaPath {
-		c.targetBase = make(map[callgraph.NodeID]uint64, len(c.plan.Targets))
+		c.targetBase = make([]uint64, g.NumNodes())
 		for i, t := range c.plan.Targets {
 			c.targetBase[t] = uint64(i) << deltaTargetShift
 		}
@@ -318,15 +325,15 @@ func (c *Coder) numberAdditive() error {
 
 	// Per-target reachability, used by Decode to disambiguate pruned
 	// edges.
-	c.reachesTgt = make(map[callgraph.NodeID][]bool, len(c.plan.Targets))
-	for _, t := range c.plan.Targets {
-		c.reachesTgt[t] = g.ReachesTargets([]callgraph.NodeID{t})
+	c.reachByTgt = make([][]bool, len(c.plan.Targets))
+	for i, t := range c.plan.Targets {
+		c.reachByTgt[i] = g.ReachesTargets([]callgraph.NodeID{t})
 	}
 	return nil
 }
 
-// findBackEdges returns the set of DFS back edges.
-func (c *Coder) findBackEdges() map[callgraph.SiteID]bool {
+// findBackEdges returns the DFS back edges, densely by SiteID.
+func (c *Coder) findBackEdges() []bool {
 	g := c.g
 	const (
 		white = 0
@@ -334,7 +341,7 @@ func (c *Coder) findBackEdges() map[callgraph.SiteID]bool {
 		black = 2
 	)
 	color := make([]byte, g.NumNodes())
-	back := make(map[callgraph.SiteID]bool)
+	back := make([]bool, g.NumEdges())
 
 	type frame struct {
 		node callgraph.NodeID
@@ -398,10 +405,10 @@ func (c *Coder) Decode(root, target callgraph.NodeID, ccid uint64) ([]callgraph.
 	if c.kind == EncoderPCC {
 		return nil, ErrNoDecode
 	}
-	reach, ok := c.reachesTgt[target]
-	if !ok {
+	if target < 0 || int(target) >= len(c.targetIdx) || c.targetIdx[target] < 0 {
 		return nil, fmt.Errorf("encoding: %v is not a target function", target)
 	}
+	reach := c.reachByTgt[c.targetIdx[target]]
 	if c.kind == EncoderDeltaPath {
 		// Strip the per-target base if the final edge carried it; the
 		// base may be absent when that edge is uninstrumented.

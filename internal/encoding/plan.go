@@ -87,62 +87,140 @@ func ParseScheme(s string) (Scheme, error) {
 }
 
 // Plan is the result of instrumentation planning: the set of call sites
-// to instrument for a given graph and target set.
+// to instrument for a given graph and target set. The site set is held
+// densely — one bool per SiteID — so Instrumented is an array load on
+// the interpreter's per-call path rather than a map probe.
 type Plan struct {
 	// Scheme is the planner that produced this plan.
 	Scheme Scheme
 	// Targets are the functions whose calling contexts are of interest
 	// (the allocation APIs, for HeapTherapy+).
 	Targets []callgraph.NodeID
-	// Sites is the instrumented call-site set.
-	Sites map[callgraph.SiteID]bool
+
+	// sites is the instrumented set, indexed by SiteID.
+	sites []bool
+	// ids lists the instrumented SiteIDs in ascending order.
+	ids []callgraph.SiteID
 }
 
 // Instrumented reports whether site s is instrumented under this plan.
-func (p *Plan) Instrumented(s callgraph.SiteID) bool { return p.Sites[s] }
+// Out-of-range SiteIDs (negative, or beyond the planned graph's edge
+// count) are never instrumented.
+func (p *Plan) Instrumented(s callgraph.SiteID) bool {
+	return s >= 0 && int(s) < len(p.sites) && p.sites[s]
+}
 
 // NumSites returns the size of the instrumentation set.
-func (p *Plan) NumSites() int { return len(p.Sites) }
+func (p *Plan) NumSites() int { return len(p.ids) }
+
+// SiteIDs returns the instrumented SiteIDs in ascending order. The
+// slice is shared with the plan; callers must not mutate it.
+func (p *Plan) SiteIDs() []callgraph.SiteID { return p.ids }
+
+// SiteSet materializes the instrumented set as a map, for callers that
+// still want set semantics (DOT rendering, diffing).
+func (p *Plan) SiteSet() map[callgraph.SiteID]bool {
+	set := make(map[callgraph.SiteID]bool, len(p.ids))
+	for _, s := range p.ids {
+		set[s] = true
+	}
+	return set
+}
 
 // SiteLabels renders the instrumented sites as sorted labels; used in
-// tests and the planner CLI.
+// tests and the planner CLI. Labels are built in site order and sorted
+// once lexically.
 func (p *Plan) SiteLabels(g *callgraph.Graph) []string {
-	labels := make([]string, 0, len(p.Sites))
-	for _, s := range callgraph.SortedSites(p.Sites) {
+	labels := make([]string, 0, len(p.ids))
+	for _, s := range p.ids {
 		labels = append(labels, g.SiteLabel(s))
 	}
 	sort.Strings(labels)
 	return labels
 }
 
+// Planner runs instrumentation planning with reusable scratch buffers,
+// so repeated planning over same-sized graphs (experiment sweeps, the
+// fuzzers) does not re-allocate reachability state per call. A Planner
+// is not safe for concurrent use; the produced Plans are immutable and
+// freely shareable.
+type Planner struct {
+	reaches []bool             // reachability scratch (per node)
+	queue   []callgraph.NodeID // BFS worklist scratch
+	count   []int32            // per-node target-reaching out-edge counts
+	one     [1]callgraph.NodeID
+}
+
+// NewPlanner returns a Planner with empty scratch; buffers grow to the
+// largest graph planned and are reused afterwards.
+func NewPlanner() *Planner { return &Planner{} }
+
 // NewPlan runs the given planner scheme over the graph.
 func NewPlan(scheme Scheme, g *callgraph.Graph, targets []callgraph.NodeID) (*Plan, error) {
+	return NewPlanner().Plan(scheme, g, targets)
+}
+
+// Plan runs the given planner scheme over the graph, reusing the
+// Planner's scratch buffers.
+func (pl *Planner) Plan(scheme Scheme, g *callgraph.Graph, targets []callgraph.NodeID) (*Plan, error) {
 	if len(targets) == 0 {
 		return nil, fmt.Errorf("encoding: no target functions given")
 	}
-	p := &Plan{Scheme: scheme, Targets: append([]callgraph.NodeID(nil), targets...)}
+	p := &Plan{
+		Scheme:  scheme,
+		Targets: append([]callgraph.NodeID(nil), targets...),
+		sites:   make([]bool, g.NumEdges()),
+	}
 	switch scheme {
 	case SchemeFCS:
-		p.Sites = planFCS(g)
+		for s := range p.sites {
+			p.sites[s] = true
+		}
 	case SchemeTCS:
-		p.Sites = g.TargetReachingSites(targets)
+		pl.planTCS(p, g, targets)
 	case SchemeSlim:
-		p.Sites = planSlim(g, targets)
+		pl.planSlim(p, g, targets)
 	case SchemeIncremental:
-		p.Sites = planIncremental(g, targets)
+		pl.planIncremental(p, g, targets)
 	default:
 		return nil, fmt.Errorf("encoding: unknown scheme %v", scheme)
+	}
+	n := 0
+	for _, on := range p.sites {
+		if on {
+			n++
+		}
+	}
+	if n > 0 {
+		p.ids = make([]callgraph.SiteID, 0, n)
+		for s, on := range p.sites {
+			if on {
+				p.ids = append(p.ids, callgraph.SiteID(s))
+			}
+		}
 	}
 	return p, nil
 }
 
-// planFCS instruments every call site, as PCC, PCCE, and DeltaPath do.
-func planFCS(g *callgraph.Graph) map[callgraph.SiteID]bool {
-	set := make(map[callgraph.SiteID]bool, g.NumEdges())
-	for s := 0; s < g.NumEdges(); s++ {
-		set[callgraph.SiteID(s)] = true
+// grow sizes the scratch buffers for graph g.
+func (pl *Planner) grow(g *callgraph.Graph) {
+	n := g.NumNodes()
+	if cap(pl.queue) < n {
+		pl.queue = make([]callgraph.NodeID, 0, n)
 	}
-	return set
+	if cap(pl.count) < n {
+		pl.count = make([]int32, n)
+	}
+}
+
+// planTCS instruments every target-reaching call site (SchemeFCS
+// instruments all sites; TCS is the first targeted refinement).
+func (pl *Planner) planTCS(p *Plan, g *callgraph.Graph, targets []callgraph.NodeID) {
+	pl.grow(g)
+	pl.reaches = g.ReachesTargetsInto(pl.reaches, pl.queue, targets)
+	for s := 0; s < g.NumEdges(); s++ {
+		p.sites[s] = pl.reaches[g.Edge(callgraph.SiteID(s)).To]
+	}
 }
 
 // planSlim keeps only target-reaching sites whose containing function
@@ -150,19 +228,23 @@ func planFCS(g *callgraph.Graph) map[callgraph.SiteID]bool {
 // (Section IV-B). Sites in non-branching nodes cannot affect the
 // distinguishability of encodings, because between two instrumented
 // sites the path through non-branching nodes is unique.
-func planSlim(g *callgraph.Graph, targets []callgraph.NodeID) map[callgraph.SiteID]bool {
-	tcs := g.TargetReachingSites(targets)
-	reachingOut := make([]int, g.NumNodes())
-	for s := range tcs {
-		reachingOut[g.Edge(s).From]++
+func (pl *Planner) planSlim(p *Plan, g *callgraph.Graph, targets []callgraph.NodeID) {
+	pl.grow(g)
+	pl.reaches = g.ReachesTargetsInto(pl.reaches, pl.queue, targets)
+	count := pl.count[:g.NumNodes()]
+	for i := range count {
+		count[i] = 0
 	}
-	set := make(map[callgraph.SiteID]bool)
-	for s := range tcs {
-		if reachingOut[g.Edge(s).From] >= 2 {
-			set[s] = true
+	for s := 0; s < g.NumEdges(); s++ {
+		e := g.Edge(callgraph.SiteID(s))
+		if pl.reaches[e.To] {
+			count[e.From]++
 		}
 	}
-	return set
+	for s := 0; s < g.NumEdges(); s++ {
+		e := g.Edge(callgraph.SiteID(s))
+		p.sites[s] = pl.reaches[e.To] && count[e.From] >= 2
+	}
 }
 
 // planIncremental implements Algorithm 1 of the paper. Because the
@@ -172,28 +254,29 @@ func planSlim(g *callgraph.Graph, targets []callgraph.NodeID) map[callgraph.Site
 // some single target t: two or more of its out-edges reach that same t.
 // False branching nodes — whose target-reaching edges each lead to a
 // different target — are pruned.
-func planIncremental(g *callgraph.Graph, targets []callgraph.NodeID) map[callgraph.SiteID]bool {
-	set := make(map[callgraph.SiteID]bool)
+func (pl *Planner) planIncremental(p *Plan, g *callgraph.Graph, targets []callgraph.NodeID) {
+	pl.grow(g)
+	count := pl.count[:g.NumNodes()]
 	for _, t := range targets {
 		// Backward BFS from t (Lines 4-10 of Algorithm 1); the visited
 		// check handles back edges.
-		reaches := g.ReachesTargets([]callgraph.NodeID{t})
-		// For each node, collect its out-edges that reach t
+		pl.one[0] = t
+		pl.reaches = g.ReachesTargetsInto(pl.reaches, pl.queue, pl.one[:])
+		// For each node, count its out-edges that reach t
 		// (Lines 11-17); instrument them if there are two or more.
-		perNode := make(map[callgraph.NodeID][]callgraph.SiteID)
+		for i := range count {
+			count[i] = 0
+		}
 		for s := 0; s < g.NumEdges(); s++ {
-			e := g.Edge(callgraph.SiteID(s))
-			if reaches[e.To] {
-				perNode[e.From] = append(perNode[e.From], e.ID)
+			if pl.reaches[g.Edge(callgraph.SiteID(s)).To] {
+				count[g.Edge(callgraph.SiteID(s)).From]++
 			}
 		}
-		for _, edges := range perNode {
-			if len(edges) > 1 {
-				for _, s := range edges {
-					set[s] = true
-				}
+		for s := 0; s < g.NumEdges(); s++ {
+			e := g.Edge(callgraph.SiteID(s))
+			if pl.reaches[e.To] && count[e.From] >= 2 {
+				p.sites[s] = true
 			}
 		}
 	}
-	return set
 }

@@ -68,8 +68,8 @@ func TestPlanMonotonicity(t *testing.T) {
 		for _, scheme := range AllSchemes() {
 			p := mustPlan(t, scheme, g, targets)
 			if prev != nil {
-				for s := range p.Sites {
-					if !prev.Sites[s] {
+				for _, s := range p.SiteIDs() {
+					if !prev.Instrumented(s) {
 						t.Errorf("seed %d: %v instruments %s but %v does not",
 							seed, scheme, g.SiteLabel(s), prev.Scheme)
 					}

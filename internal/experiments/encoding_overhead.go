@@ -41,21 +41,22 @@ func EncodingOverhead(cfg Config) (*EncodingOverheadResult, error) {
 	}
 	encoderSums := make(map[encoding.EncoderKind]float64, 3)
 	for _, b := range benches {
-		p, _, err := b.Program(cfg.programConfig())
+		p, err := internedProgram(b, cfg, flavorSpec)
 		if err != nil {
 			return nil, err
 		}
-		base, err := runOnce(cfg.Engine, p, nil, backendNative, nil, nil)
+		w := newWorkbench(cfg.Engine, p)
+		base, err := w.runNative(nil)
 		if err != nil {
 			return nil, err
 		}
 		row := make(map[encoding.Scheme]float64, 4)
 		for _, scheme := range encoding.AllSchemes() {
-			coder, err := coderFor(p, scheme)
+			coder, err := internedCoder(p.Graph(), p.Targets(), scheme, encoding.EncoderPCC)
 			if err != nil {
 				return nil, err
 			}
-			m, err := runOnce(cfg.Engine, p, coder, backendNative, nil, nil)
+			m, err := w.runNative(coder)
 			if err != nil {
 				return nil, err
 			}
@@ -65,16 +66,19 @@ func EncodingOverhead(cfg Config) (*EncodingOverheadResult, error) {
 		out.PerBench[b.Name] = row
 
 		// Encoder axis: same (Incremental) plan, different arithmetic.
-		plan, err := encoding.NewPlan(encoding.SchemeIncremental, p.Graph(), p.Targets())
-		if err != nil {
-			return nil, err
-		}
+		// The PCC entry is the interned Incremental-scheme coder already
+		// measured above; execution is deterministic, so its overhead is
+		// reused rather than re-run.
 		for _, kind := range encoding.AllEncoders() {
-			coder, err := encoding.NewCoder(kind, p.Graph(), plan)
+			if kind == encoding.EncoderPCC {
+				encoderSums[kind] += row[encoding.SchemeIncremental]
+				continue
+			}
+			coder, err := internedCoder(p.Graph(), p.Targets(), encoding.SchemeIncremental, kind)
 			if err != nil {
 				return nil, err
 			}
-			m, err := runOnce(cfg.Engine, p, coder, backendNative, nil, nil)
+			m, err := w.runNative(coder)
 			if err != nil {
 				return nil, err
 			}
@@ -146,14 +150,14 @@ func TableIII(cfg Config) (*TableIIIResult, error) {
 		Sites: make(map[string]map[encoding.Scheme]int),
 	}
 	for _, b := range workload.SpecBenchmarks() {
-		g, targets, err := b.Graph()
+		g, targets, err := internedGraph(b)
 		if err != nil {
 			return nil, err
 		}
 		row := make(map[encoding.Scheme]float64, 4)
 		sites := make(map[encoding.Scheme]int, 4)
 		for _, scheme := range encoding.AllSchemes() {
-			plan, err := encoding.NewPlan(scheme, g, targets)
+			plan, err := internedPlan(g, targets, scheme)
 			if err != nil {
 				return nil, err
 			}

@@ -95,7 +95,7 @@ func runOnce(engine prog.Engine, p *prog.Program, coder *encoding.Coder, kind ba
 	default:
 		return nil, fmt.Errorf("experiments: unknown backend kind %d", kind)
 	}
-	it, err := prog.NewExec(p, prog.Config{Backend: backend, Coder: coder, Engine: engine})
+	it, err := execFor(engine, p, coder, backend)
 	if err != nil {
 		return nil, err
 	}
@@ -149,36 +149,29 @@ func (r *ccidRecorder) Realloc(ccid, ptr, size uint64) (uint64, error) {
 	return r.HeapBackend.Realloc(ccid, ptr, size)
 }
 
-// medianCCIDPatches profiles p and returns n overflow patches centered
-// on the median-frequency allocation contexts, per the paper's
-// protocol ("we pick the CCIDs with median frequencies as the
-// hypothesized vulnerable ones" — overflow being the most expensive
-// type to treat).
-func medianCCIDPatches(engine prog.Engine, p *prog.Program, coder *encoding.Coder, n int) (*patch.Set, error) {
-	space, err := mem.NewSpace(mem.Config{})
-	if err != nil {
-		return nil, err
-	}
-	nb, err := prog.NewNativeBackend(space)
-	if err != nil {
-		return nil, err
-	}
-	rec := &ccidRecorder{HeapBackend: nb, counts: make(map[patch.Key]uint64)}
-	it, err := prog.NewExec(p, prog.Config{Backend: rec, Coder: coder, Engine: engine})
+// rankedCCID is one allocation context with its observed frequency.
+type rankedCCID struct {
+	key   patch.Key
+	count uint64
+}
+
+// profileCCIDs runs one profiling execution of p over backend and
+// returns its allocation contexts ranked by (count, CCID) ascending —
+// the ordering the paper's median-frequency patch-selection protocol
+// indexes into. Profiling is deterministic, so one ranking serves
+// every deployment level of an experiment.
+func profileCCIDs(engine prog.Engine, p *prog.Program, coder *encoding.Coder, backend prog.HeapBackend) ([]rankedCCID, error) {
+	rec := &ccidRecorder{HeapBackend: backend, counts: make(map[patch.Key]uint64)}
+	it, err := execFor(engine, p, coder, rec)
 	if err != nil {
 		return nil, err
 	}
 	if _, err := it.Run(nil); err != nil {
 		return nil, fmt.Errorf("experiments: profiling %s: %w", p.Name, err)
 	}
-
-	type kc struct {
-		key   patch.Key
-		count uint64
-	}
-	ranked := make([]kc, 0, len(rec.counts))
+	ranked := make([]rankedCCID, 0, len(rec.counts))
 	for k, c := range rec.counts {
-		ranked = append(ranked, kc{key: k, count: c})
+		ranked = append(ranked, rankedCCID{key: k, count: c})
 	}
 	sort.Slice(ranked, func(i, j int) bool {
 		if ranked[i].count != ranked[j].count {
@@ -186,10 +179,19 @@ func medianCCIDPatches(engine prog.Engine, p *prog.Program, coder *encoding.Code
 		}
 		return ranked[i].key.CCID < ranked[j].key.CCID
 	})
-	if len(ranked) == 0 {
-		return patch.NewSet(), nil
-	}
+	return ranked, nil
+}
+
+// selectMedianPatches picks n overflow patches centered on the
+// median-frequency contexts of a ranked profile, per the paper's
+// protocol ("we pick the CCIDs with median frequencies as the
+// hypothesized vulnerable ones" — overflow being the most expensive
+// type to treat).
+func selectMedianPatches(ranked []rankedCCID, n int) *patch.Set {
 	set := patch.NewSet()
+	if len(ranked) == 0 {
+		return set
+	}
 	mid := len(ranked) / 2
 	lo := mid - n/2
 	if lo < 0 {
@@ -202,7 +204,25 @@ func medianCCIDPatches(engine prog.Engine, p *prog.Program, coder *encoding.Code
 			Types: patch.TypeOverflow,
 		})
 	}
-	return set, nil
+	return set
+}
+
+// medianCCIDPatches profiles p on a fresh native substrate and selects
+// n median-frequency patches (profileCCIDs + selectMedianPatches).
+func medianCCIDPatches(engine prog.Engine, p *prog.Program, coder *encoding.Coder, n int) (*patch.Set, error) {
+	space, err := mem.NewSpace(mem.Config{})
+	if err != nil {
+		return nil, err
+	}
+	nb, err := prog.NewNativeBackend(space)
+	if err != nil {
+		return nil, err
+	}
+	ranked, err := profileCCIDs(engine, p, coder, nb)
+	if err != nil {
+		return nil, err
+	}
+	return selectMedianPatches(ranked, n), nil
 }
 
 // table renders rows with aligned columns.

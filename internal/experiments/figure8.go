@@ -41,33 +41,39 @@ func Figure8(cfg Config) (*Figure8Result, error) {
 		Average:  make(map[string]float64, len(Figure8Configs)),
 	}
 	for _, b := range benches {
-		p, _, err := b.Program(cfg.programConfig())
+		p, err := internedProgram(b, cfg, flavorSpec)
 		if err != nil {
 			return nil, err
 		}
-		coder, err := coderFor(p, encoding.SchemeIncremental)
+		coder, err := internedCoder(p.Graph(), p.Targets(), encoding.SchemeIncremental, encoding.EncoderPCC)
 		if err != nil {
 			return nil, err
 		}
-		base, err := runOnce(cfg.Engine, p, nil, backendNative, nil, nil)
+		w := newWorkbench(cfg.Engine, p)
+		base, err := w.runNative(nil)
 		if err != nil {
 			return nil, err
 		}
 		row := make(map[string]float64, len(Figure8Configs))
 
 		// Interposition only.
-		m, err := runOnce(cfg.Engine, p, coder, backendInterpose, nil, nil)
+		m, err := w.runDefended(coder, defense.ModeInterpose, nil)
 		if err != nil {
 			return nil, err
 		}
 		row["interpose"] = overheadPct(base.res.Cycles, m.res.Cycles)
 
+		// One profiling run ranks the allocation contexts; every
+		// deployment level derives its median-centered patch window from
+		// that same ranking (profiling is deterministic, so re-profiling
+		// per level would reproduce it bit-for-bit).
+		ranked, err := w.profile(coder)
+		if err != nil {
+			return nil, err
+		}
 		for _, n := range []int{0, 1, 5} {
-			patches, err := medianCCIDPatches(cfg.Engine, p, coder, n)
-			if err != nil {
-				return nil, err
-			}
-			m, err := runOnce(cfg.Engine, p, coder, backendFull, patches, nil)
+			patches := selectMedianPatches(ranked, n)
+			m, err := w.runDefended(coder, defense.ModeFull, patches)
 			if err != nil {
 				return nil, err
 			}
@@ -174,11 +180,11 @@ func Figure9(cfg Config) (*Figure9Result, error) {
 		PerBenchPeak: make(map[string]float64, len(benches)),
 	}
 	for _, b := range benches {
-		p, err := b.LiveHeapProgram(cfg.programConfig())
+		p, err := internedProgram(b, cfg, flavorLiveHeap)
 		if err != nil {
 			return nil, err
 		}
-		coder, err := coderFor(p, encoding.SchemeIncremental)
+		coder, err := internedCoder(p.Graph(), p.Targets(), encoding.SchemeIncremental, encoding.EncoderPCC)
 		if err != nil {
 			return nil, err
 		}
@@ -226,7 +232,7 @@ func runSampled(engine prog.Engine, p *prog.Program, coder *encoding.Coder, kind
 		inner, heap = db, db.Defender().Heap()
 	}
 	sampler := &rssSampler{HeapBackend: inner, heap: heap}
-	it, err := prog.NewExec(p, prog.Config{Backend: sampler, Coder: coder, Engine: engine})
+	it, err := execFor(engine, p, coder, sampler)
 	if err != nil {
 		return 0, 0, err
 	}

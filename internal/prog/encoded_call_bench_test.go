@@ -1,0 +1,177 @@
+package prog
+
+// Benchmarks and allocation pins for the encoded-call hot path: a
+// program whose inner loop calls through Incremental-instrumented
+// sites, so every iteration exercises the precompiled SiteUpdate
+// table, the V save/restore discipline, and the allocator round trip.
+
+import (
+	"testing"
+
+	"heaptherapy/internal/encoding"
+	"heaptherapy/internal/mem"
+)
+
+// encodedCallProgram loops iters times calling two allocating helpers.
+// main's two call edges both reach malloc, so main is a true branching
+// node and the Incremental plan instruments exactly those sites.
+func encodedCallProgram(iters uint64) *Program {
+	return MustLink(&Program{
+		Name: "encoded-call",
+		Funcs: map[string]*Func{
+			"main": {Body: []Stmt{
+				Assign{Dst: "i", E: C(0)},
+				Assign{Dst: "acc", E: C(0)},
+				While{Cond: Bin{Op: OpLt, A: V("i"), B: C(iters)}, Body: []Stmt{
+					Call{Dst: "x", Callee: "left"},
+					Call{Dst: "y", Callee: "right"},
+					Assign{Dst: "acc", E: Bin{Op: OpAdd, A: V("acc"), B: Bin{Op: OpXor, A: V("x"), B: V("y")}}},
+					Assign{Dst: "i", E: Bin{Op: OpAdd, A: V("i"), B: C(1)}},
+				}},
+				Return{E: V("acc")},
+			}},
+			"left": {Body: []Stmt{
+				Alloc{Dst: "p", Size: C(32)},
+				FreeStmt{Ptr: V("p")},
+				Return{E: C(1)},
+			}},
+			"right": {Body: []Stmt{
+				Alloc{Dst: "p", Size: C(48)},
+				FreeStmt{Ptr: V("p")},
+				Return{E: C(2)},
+			}},
+		},
+	})
+}
+
+func encodedCallCoder(tb testing.TB, p *Program) *encoding.Coder {
+	tb.Helper()
+	plan, err := encoding.NewPlan(encoding.SchemeIncremental, p.Graph(), p.Targets())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if plan.NumSites() == 0 {
+		tb.Fatal("encoded-call program has no instrumented sites; benchmark would not exercise updates")
+	}
+	coder, err := encoding.NewCoder(encoding.EncoderPCC, p.Graph(), plan)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return coder
+}
+
+func encodedCallBackend(tb testing.TB) *NativeBackend {
+	tb.Helper()
+	space, err := mem.NewSpace(mem.Config{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	backend, err := NewNativeBackend(space)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return backend
+}
+
+// BenchmarkEncodedCall measures a full instrumented run (256 loop
+// iterations, two encoded calls plus an alloc/free pair each) on both
+// engines. The per-call encoding update itself is a precompiled
+// SiteUpdate application — branch, multiply, add — with no allocation.
+func BenchmarkEncodedCall(b *testing.B) {
+	const iters = 256
+	b.Run("tree", func(b *testing.B) {
+		p := encodedCallProgram(iters)
+		coder := encodedCallCoder(b, p)
+		it, err := New(p, Config{Backend: encodedCallBackend(b), Coder: coder})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := it.Run(nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("vm", func(b *testing.B) {
+		p := encodedCallProgram(iters)
+		coder := encodedCallCoder(b, p)
+		c, err := Compile(p, coder)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vm, err := NewVM(c, Config{Backend: encodedCallBackend(b), Coder: coder})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var res Result
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := vm.RunReuse(&res, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestEncodedCallTreeAllocsFlat pins the tree-walker's hot path: once
+// frames, slots, and value buffers are warm, a run's allocations must
+// not grow with the number of encoded calls executed — i.e. the
+// per-call path (site update, frame recycle, alloc/free) is
+// allocation-free, and only the O(1) per-run bookkeeping (Result,
+// returned-value clone) remains.
+func TestEncodedCallTreeAllocsFlat(t *testing.T) {
+	measure := func(iters uint64) float64 {
+		p := encodedCallProgram(iters)
+		it, err := New(p, Config{Backend: encodedCallBackend(t), Coder: encodedCallCoder(t, p)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Warm the slot frames and value buffers.
+		if _, err := it.Run(nil); err != nil {
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(10, func() {
+			if _, err := it.Run(nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small, big := measure(8), measure(4096)
+	if big > small {
+		t.Errorf("tree allocations grow with call count: %.1f allocs at 8 iters, %.1f at 4096", small, big)
+	}
+}
+
+// TestEncodedCallVMZeroAlloc pins the VM's encoded-call path at zero:
+// steady-state RunReuse of the instrumented program must not allocate
+// at all.
+func TestEncodedCallVMZeroAlloc(t *testing.T) {
+	p := encodedCallProgram(512)
+	coder := encodedCallCoder(t, p)
+	c, err := Compile(p, coder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := NewVM(c, Config{Backend: encodedCallBackend(t), Coder: coder})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res Result
+	if err := vm.RunReuse(&res, nil); err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashed() {
+		t.Fatalf("warmup crashed: %v", res.Fault)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := vm.RunReuse(&res, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state encoded RunReuse allocates %.1f objects/run, want 0", allocs)
+	}
+}

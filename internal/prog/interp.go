@@ -1,9 +1,11 @@
 package prog
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 
+	"heaptherapy/internal/callgraph"
 	"heaptherapy/internal/encoding"
 	"heaptherapy/internal/heapsim"
 )
@@ -69,15 +71,37 @@ type Result struct {
 // Crashed reports whether the run ended in a fault.
 func (r *Result) Crashed() bool { return r.Fault != nil }
 
+// ifunc is a function with its precomputed instrumentation flag, so
+// the per-call path resolves callee body and prologue cost in one map
+// probe.
+type ifunc struct {
+	fn    *Func
+	instr bool // function contains >=1 instrumented site
+}
+
 // Interp executes a linked Program against a backend.
+//
+// The hot paths are allocation-free in steady state: per-site encoding
+// updates come from a dense precompiled table (the same SiteUpdate
+// records the bytecode compiler embeds), variable slots are recycled
+// register-style storage keyed by activation generation, and scalar
+// expressions evaluate without materializing Values. The general
+// evaluator is retained for shadowed or non-scalar values and is
+// bit-identical to the fast path by construction (same binScalar, same
+// byte encoding).
 type Interp struct {
-	p         *Program
-	backend   HeapBackend
-	bulk      BulkLoader // non-nil when backend supports LoadInto
-	coder     *encoding.Coder
-	maxSteps  uint64
-	maxDepth  int
-	funcInstr map[string]bool // function contains >=1 instrumented site
+	p        *Program
+	backend  HeapBackend
+	bulk     BulkLoader // non-nil when backend supports LoadInto
+	coder    *encoding.Coder
+	maxSteps uint64
+	maxDepth int
+
+	// Precompiled tables, built once at New.
+	siteUpd  []encoding.SiteUpdate // per-site V update, indexed by SiteID (nil = uninstrumented run)
+	encUpd   uint64                // cycle cost of one encoding update under the bound coder
+	funcs    map[string]*ifunc
+	checkUse bool // backend observes use points (CheckUse not elidable)
 
 	// Per-run state.
 	input      []byte
@@ -92,13 +116,59 @@ type Interp struct {
 	frees      uint64
 	depth      int
 	fault      error
-	globals    map[string]Value
-	scratch    Value // reusable buffer for transient loads (Output)
+
+	// Recycled storage: frames are reused by call depth, variable and
+	// global slots by name; a slot is live only when its generation
+	// matches its frame's (or the run's, for globals).
+	fstack   []*frame
+	gen      uint64 // activation generation counter
+	globals  map[string]*vslot
+	runGen   uint64  // current run's generation, validates global slots
+	scratch  Value   // reusable buffer for transient loads (Output)
+	ckBuf    [8]byte // staging for fast-path use-check operands
+	storeBuf [8]byte // staging for fast-path store operands
 
 	// Cooperative scheduling hooks for RunThreads: when yield is set,
 	// the interpreter calls it every yieldEvery statements.
 	yield      func()
 	yieldEvery uint64
+}
+
+// vslot is one variable's recycled storage; the slot is defined in its
+// frame's current activation only when gen matches.
+type vslot struct {
+	reg
+	gen uint64
+}
+
+// frame is one recycled activation record, reused across calls at the
+// same depth; bumping gen invalidates every slot at no per-slot cost.
+type frame struct {
+	vars map[string]*vslot
+	gen  uint64
+	t    uint64 // V read at the function prologue
+	ret  reg    // staging for fast-path return values
+}
+
+// lookup resolves a variable in the frame's current activation.
+func (f *frame) lookup(name string) (*vslot, bool) {
+	sl := f.vars[name]
+	if sl == nil || sl.gen != f.gen {
+		return nil, false
+	}
+	return sl, true
+}
+
+// define returns the slot for name, marking it defined in the current
+// activation (the caller writes the value).
+func (f *frame) define(name string) *vslot {
+	sl := f.vars[name]
+	if sl == nil {
+		sl = &vslot{}
+		f.vars[name] = sl
+	}
+	sl.gen = f.gen
+	return sl
 }
 
 // tick accounts one statement and enforces the step budget and the
@@ -141,8 +211,16 @@ func New(p *Program, cfg Config) (*Interp, error) {
 		coder:    cfg.Coder,
 		maxSteps: cfg.MaxSteps,
 		maxDepth: cfg.MaxDepth,
+		globals:  make(map[string]*vslot),
 	}
 	it.bulk, _ = cfg.Backend.(BulkLoader)
+	// Backends that declare CheckUse a no-op let the use-point calls be
+	// elided entirely (see UseObserver); wrappers that do not implement
+	// the interface keep seeing every call.
+	it.checkUse = true
+	if obs, ok := cfg.Backend.(UseObserver); ok && !obs.ObservesUse() {
+		it.checkUse = false
+	}
 	if it.maxSteps == 0 {
 		it.maxSteps = DefaultMaxSteps
 	}
@@ -150,10 +228,23 @@ func New(p *Program, cfg Config) (*Interp, error) {
 		it.maxDepth = DefaultMaxDepth
 	}
 	if cfg.Coder != nil {
-		it.funcInstr = make(map[string]bool, len(p.Funcs))
-		for name, f := range p.Funcs {
-			it.funcInstr[name] = bodyHasInstrumentedSite(f.Body, cfg.Coder)
+		it.encUpd = CycEncUpdateAdditive
+		if cfg.Coder.Kind() == encoding.EncoderPCC {
+			it.encUpd = CycEncUpdatePCC
 		}
+		n := p.graph.NumEdges()
+		it.siteUpd = make([]encoding.SiteUpdate, n)
+		for s := 0; s < n; s++ {
+			it.siteUpd[s] = cfg.Coder.CompileSite(callgraph.SiteID(s))
+		}
+	}
+	it.funcs = make(map[string]*ifunc, len(p.Funcs))
+	for name, fn := range p.Funcs {
+		fi := &ifunc{fn: fn}
+		if cfg.Coder != nil {
+			fi.instr = bodyHasInstrumentedSite(fn.Body, cfg.Coder)
+		}
+		it.funcs[name] = fi
 	}
 	return it, nil
 }
@@ -186,9 +277,13 @@ func bodyHasInstrumentedSite(body []Stmt, coder *encoding.Coder) bool {
 	return false
 }
 
-type frame struct {
-	vars map[string]Value
-	t    uint64 // V read at the function prologue
+// frameAt returns the recycled frame for call depth d, growing the
+// stack on first use.
+func (it *Interp) frameAt(d int) *frame {
+	for len(it.fstack) <= d {
+		it.fstack = append(it.fstack, &frame{vars: make(map[string]*vslot)})
+	}
+	return it.fstack[d]
 }
 
 // Run executes the program on the given input and returns the result.
@@ -208,15 +303,20 @@ func (it *Interp) Run(input []byte) (*Result, error) {
 	it.frees = 0
 	it.depth = 0
 	it.fault = nil
-	it.globals = make(map[string]Value)
+	it.runGen++
 	startCycles := it.backend.Cycles()
 
-	entry := it.p.Funcs[it.p.Entry]
-	f := &frame{vars: make(map[string]Value), t: it.v}
-	_, ret, err := it.execBlock(entry.Body, f)
+	entry := it.funcs[it.p.Entry]
+	f := it.frameAt(0)
+	it.gen++
+	f.gen = it.gen
+	f.t = it.v
+	_, ret, err := it.execBlock(entry.fn.Body, f)
 	res := &Result{
-		Output:     it.output,
-		Returned:   ret,
+		Output: it.output,
+		// The returned value may live in recycled frame storage; copy it
+		// out so Results stay independent across runs.
+		Returned:   ret.Clone(),
 		Steps:      it.steps,
 		EncUpdates: it.encUpdates,
 		Allocs:     it.allocs,
@@ -241,6 +341,15 @@ func (it *Interp) crash(err error) error {
 	return errCrashed
 }
 
+// siteUpdate resolves the precompiled V update for a site; out-of-range
+// or unplanned sites read as uninstrumented.
+func (it *Interp) siteUpdate(s callgraph.SiteID) encoding.SiteUpdate {
+	if s >= 0 && int(s) < len(it.siteUpd) {
+		return it.siteUpd[s]
+	}
+	return encoding.SiteUpdate{}
+}
+
 // execBlock runs a statement list; returned reports whether a Return
 // was executed.
 func (it *Interp) execBlock(body []Stmt, f *frame) (returned bool, ret Value, err error) {
@@ -253,18 +362,40 @@ func (it *Interp) execBlock(body []Stmt, f *frame) (returned bool, ret Value, er
 			// Costs the base step only.
 
 		case Assign:
+			u, ok, err := it.evalU(st.E, f)
+			if err != nil {
+				return false, Value{}, err
+			}
+			if ok {
+				f.define(st.Dst).setScalar(u)
+				break
+			}
 			v, err := it.eval(st.E, f)
 			if err != nil {
 				return false, Value{}, err
 			}
-			f.vars[st.Dst] = v
+			f.define(st.Dst).set(&v)
 
 		case SetGlobal:
+			u, ok, err := it.evalU(st.E, f)
+			if err != nil {
+				return false, Value{}, err
+			}
+			sl := it.globals[st.Dst]
+			if sl == nil {
+				sl = &vslot{}
+				it.globals[st.Dst] = sl
+			}
+			sl.gen = it.runGen
+			if ok {
+				sl.setScalar(u)
+				break
+			}
 			v, err := it.eval(st.E, f)
 			if err != nil {
 				return false, Value{}, err
 			}
-			it.globals[st.Dst] = v
+			sl.set(&v)
 
 		case Alloc:
 			if err := it.execAlloc(st, f); err != nil {
@@ -277,13 +408,13 @@ func (it *Interp) execBlock(body []Stmt, f *frame) (returned bool, ret Value, er
 			}
 
 		case FreeStmt:
-			ptr, err := it.eval(st.Ptr, f)
+			u, v, fast, err := it.evalV(st.Ptr, f)
 			if err != nil {
 				return false, Value{}, err
 			}
-			it.backend.CheckUse(ptr, UseAddress, it.v)
+			it.use(u, v, fast, UseAddress)
 			it.frees++
-			if err := it.backend.Free(ptr.Uint(), it.v); err != nil {
+			if err := it.backend.Free(u, it.v); err != nil {
 				return false, Value{}, it.crash(err)
 			}
 
@@ -292,39 +423,53 @@ func (it *Interp) execBlock(body []Stmt, f *frame) (returned bool, ret Value, er
 			if err != nil {
 				return false, Value{}, err
 			}
-			n, err := it.eval(st.N, f)
+			n, err := it.evalNum(st.N, f)
 			if err != nil {
 				return false, Value{}, err
 			}
-			v, lerr := it.backend.Load(addr, n.Uint(), it.v)
+			if it.bulk != nil {
+				sl := f.define(st.Dst)
+				if lerr := it.loadIntoSlot(sl, addr, n); lerr != nil {
+					return false, Value{}, it.crash(lerr)
+				}
+				break
+			}
+			v, lerr := it.backend.Load(addr, n, it.v)
 			if lerr != nil {
 				return false, Value{}, it.crash(lerr)
 			}
-			f.vars[st.Dst] = v
+			it.adopt(f.define(st.Dst), v)
 
 		case Store:
 			addr, err := it.evalAddr(st.Base, st.Off, f)
 			if err != nil {
 				return false, Value{}, err
 			}
-			src, err := it.eval(st.Src, f)
+			srcU, srcV, fast, err := it.evalV(st.Src, f)
 			if err != nil {
 				return false, Value{}, err
 			}
 			n := uint64(8)
 			if st.N != nil {
-				nv, err := it.eval(st.N, f)
+				nv, err := it.evalNum(st.N, f)
 				if err != nil {
 					return false, Value{}, err
 				}
-				n = nv.Uint()
+				n = nv
 				if n > 8 {
 					n = 8
 				}
 			}
-			// View borrows src's buffers instead of copying them; the
-			// backend only reads the operand, so no allocation per store.
-			if serr := it.backend.Store(addr, src.View(0, int(n)), it.v); serr != nil {
+			// The operand view borrows buffers instead of copying them;
+			// the backend only reads it, so no allocation per store.
+			var op Value
+			if fast {
+				binary.LittleEndian.PutUint64(it.storeBuf[:], srcU)
+				op = Value{Bytes: it.storeBuf[:n]}
+			} else {
+				op = srcV.View(0, int(n))
+			}
+			if serr := it.backend.Store(addr, op, it.v); serr != nil {
 				return false, Value{}, it.crash(serr)
 			}
 
@@ -333,11 +478,11 @@ func (it *Interp) execBlock(body []Stmt, f *frame) (returned bool, ret Value, er
 			if err != nil {
 				return false, Value{}, err
 			}
-			src, ok := f.vars[st.Src]
+			sl, ok := f.lookup(st.Src)
 			if !ok {
 				return false, Value{}, fmt.Errorf("prog %s: undefined variable %q", it.p.Name, st.Src)
 			}
-			if serr := it.backend.Store(addr, src, it.v); serr != nil {
+			if serr := it.backend.Store(addr, sl.val, it.v); serr != nil {
 				return false, Value{}, it.crash(serr)
 			}
 
@@ -351,64 +496,63 @@ func (it *Interp) execBlock(body []Stmt, f *frame) (returned bool, ret Value, er
 			}
 
 		case Memcpy:
-			dst, err := it.eval(st.Dst, f)
+			dstU, dstV, dstF, err := it.evalV(st.Dst, f)
 			if err != nil {
 				return false, Value{}, err
 			}
-			src, err := it.eval(st.Src, f)
+			srcU, srcV, srcF, err := it.evalV(st.Src, f)
 			if err != nil {
 				return false, Value{}, err
 			}
-			n, err := it.eval(st.N, f)
+			n, err := it.evalNum(st.N, f)
 			if err != nil {
 				return false, Value{}, err
 			}
-			it.backend.CheckUse(dst, UseAddress, it.v)
-			it.backend.CheckUse(src, UseAddress, it.v)
-			if merr := it.backend.Memcpy(dst.Uint(), src.Uint(), n.Uint(), it.v); merr != nil {
+			it.use(dstU, dstV, dstF, UseAddress)
+			it.use(srcU, srcV, srcF, UseAddress)
+			if merr := it.backend.Memcpy(dstU, srcU, n, it.v); merr != nil {
 				return false, Value{}, it.crash(merr)
 			}
 
 		case Memset:
-			dst, err := it.eval(st.Dst, f)
+			dstU, dstV, dstF, err := it.evalV(st.Dst, f)
 			if err != nil {
 				return false, Value{}, err
 			}
-			b, err := it.eval(st.B, f)
+			b, err := it.evalNum(st.B, f)
 			if err != nil {
 				return false, Value{}, err
 			}
-			n, err := it.eval(st.N, f)
+			n, err := it.evalNum(st.N, f)
 			if err != nil {
 				return false, Value{}, err
 			}
-			it.backend.CheckUse(dst, UseAddress, it.v)
-			if merr := it.backend.Memset(dst.Uint(), byte(b.Uint()), n.Uint(), it.v); merr != nil {
+			it.use(dstU, dstV, dstF, UseAddress)
+			if merr := it.backend.Memset(dstU, byte(b), n, it.v); merr != nil {
 				return false, Value{}, it.crash(merr)
 			}
 
 		case ReadInput:
-			n, err := it.eval(st.N, f)
+			n, err := it.evalNum(st.N, f)
 			if err != nil {
 				return false, Value{}, err
 			}
 			// Clamp in uint64 space: a request of 2^63 or more must
 			// saturate at the remaining input, not wrap negative.
 			take := len(it.input) - it.inPos
-			if nu := n.Uint(); nu < uint64(take) {
-				take = int(nu)
+			if n < uint64(take) {
+				take = int(n)
 			}
-			buf := make([]byte, take)
-			copy(buf, it.input[it.inPos:it.inPos+take])
+			src := Value{Bytes: it.input[it.inPos : it.inPos+take]}
+			f.define(st.Dst).set(&src)
 			it.inPos += take
-			f.vars[st.Dst] = Value{Bytes: buf}
 
 		case Output:
 			addr, err := it.evalAddr(st.Base, st.Off, f)
 			if err != nil {
 				return false, Value{}, err
 			}
-			n, err := it.eval(st.N, f)
+			n, err := it.evalNum(st.N, f)
 			if err != nil {
 				return false, Value{}, err
 			}
@@ -416,36 +560,42 @@ func (it *Interp) execBlock(body []Stmt, f *frame) (returned bool, ret Value, er
 			// buffer, so it can live in the reusable scratch Value when
 			// the backend supports buffer reuse.
 			if it.bulk != nil {
-				if lerr := it.bulk.LoadInto(&it.scratch, addr, n.Uint(), it.v); lerr != nil {
+				if lerr := it.bulk.LoadInto(&it.scratch, addr, n, it.v); lerr != nil {
 					return false, Value{}, it.crash(lerr)
 				}
-				it.backend.CheckUse(it.scratch, UseOutput, it.v)
+				if it.checkUse {
+					it.backend.CheckUse(it.scratch, UseOutput, it.v)
+				}
 				it.output = append(it.output, it.scratch.Bytes...)
 				break
 			}
-			v, lerr := it.backend.Load(addr, n.Uint(), it.v)
+			v, lerr := it.backend.Load(addr, n, it.v)
 			if lerr != nil {
 				return false, Value{}, it.crash(lerr)
 			}
-			it.backend.CheckUse(v, UseOutput, it.v)
+			if it.checkUse {
+				it.backend.CheckUse(v, UseOutput, it.v)
+			}
 			it.output = append(it.output, v.Bytes...)
 
 		case OutputVar:
-			v, ok := f.vars[st.Src]
+			sl, ok := f.lookup(st.Src)
 			if !ok {
 				return false, Value{}, fmt.Errorf("prog %s: undefined variable %q", it.p.Name, st.Src)
 			}
-			it.backend.CheckUse(v, UseOutput, it.v)
-			it.output = append(it.output, v.Bytes...)
+			if it.checkUse {
+				it.backend.CheckUse(sl.val, UseOutput, it.v)
+			}
+			it.output = append(it.output, sl.val.Bytes...)
 
 		case If:
-			cond, err := it.eval(st.Cond, f)
+			u, v, fast, err := it.evalV(st.Cond, f)
 			if err != nil {
 				return false, Value{}, err
 			}
-			it.backend.CheckUse(cond, UseControlFlow, it.v)
+			it.use(u, v, fast, UseControlFlow)
 			block := st.Then
-			if cond.Uint() == 0 {
+			if u == 0 {
 				block = st.Else
 			}
 			r, rv, err := it.execBlock(block, f)
@@ -458,12 +608,12 @@ func (it *Interp) execBlock(body []Stmt, f *frame) (returned bool, ret Value, er
 				if err := it.tick(); err != nil {
 					return false, Value{}, err
 				}
-				cond, err := it.eval(st.Cond, f)
+				u, v, fast, err := it.evalV(st.Cond, f)
 				if err != nil {
 					return false, Value{}, err
 				}
-				it.backend.CheckUse(cond, UseControlFlow, it.v)
-				if cond.Uint() == 0 {
+				it.use(u, v, fast, UseControlFlow)
+				if u == 0 {
 					break
 				}
 				r, rv, err := it.execBlock(st.Body, f)
@@ -478,12 +628,23 @@ func (it *Interp) execBlock(body []Stmt, f *frame) (returned bool, ret Value, er
 				return false, Value{}, err
 			}
 			if st.Dst != "" {
-				f.vars[st.Dst] = rv
+				f.define(st.Dst).set(&rv)
 			}
 
 		case Return:
 			if st.E == nil {
 				return true, Value{}, nil
+			}
+			u, ok, err := it.evalU(st.E, f)
+			if err != nil {
+				return false, Value{}, err
+			}
+			if ok {
+				// Stage the scalar in the frame's return register; the
+				// caller copies it into a slot (or Run clones it) before
+				// the frame can be reused.
+				f.ret.setScalar(u)
+				return true, f.ret.val, nil
 			}
 			v, err := it.eval(st.E, f)
 			if err != nil {
@@ -498,99 +659,144 @@ func (it *Interp) execBlock(body []Stmt, f *frame) (returned bool, ret Value, er
 	return false, Value{}, nil
 }
 
+// loadIntoSlot bulk-loads into a slot's owned buffers, lending the
+// slot's parked shadow capacity to the backend and harvesting any
+// growth back (the tree-walker twin of the VM's loadIntoReg).
+func (it *Interp) loadIntoSlot(sl *vslot, addr, n uint64) error {
+	sl.val.Valid = sl.validCap
+	sl.val.Origin = sl.originCap
+	err := it.bulk.LoadInto(&sl.val, addr, n, it.v)
+	if sl.val.Valid != nil {
+		sl.validCap = sl.val.Valid
+	}
+	if sl.val.Origin != nil {
+		sl.originCap = sl.val.Origin
+	}
+	return err
+}
+
+// adopt moves an owned Value into a slot without copying (Load results
+// own their buffers).
+func (it *Interp) adopt(sl *vslot, v Value) {
+	sl.val = v
+	if v.Valid != nil {
+		sl.validCap = v.Valid
+	}
+	if v.Origin != nil {
+		sl.originCap = v.Origin
+	}
+}
+
 func (it *Interp) execAlloc(st Alloc, f *frame) error {
-	size, err := it.eval(st.Size, f)
+	size, err := it.evalNum(st.Size, f)
 	if err != nil {
 		return err
 	}
 	n := uint64(1)
 	if st.N != nil {
-		nv, err := it.eval(st.N, f)
+		n, err = it.evalNum(st.N, f)
 		if err != nil {
 			return err
 		}
-		n = nv.Uint()
 	}
 	align := uint64(0)
 	if st.Align != nil {
-		av, err := it.eval(st.Align, f)
+		align, err = it.evalNum(st.Align, f)
 		if err != nil {
 			return err
 		}
-		align = av.Uint()
 	}
 	ccid := it.v
-	switch {
-	case st.CCID != nil:
-		cv, err := it.eval(st.CCID, f)
+	if st.CCID != nil {
+		cv, err := it.evalNum(st.CCID, f)
 		if err != nil {
 			return err
 		}
-		ccid = cv.Uint()
+		ccid = cv
 		it.encUpdates++
 		it.cycles += CycEncUpdatePCC
-	case it.coder != nil && it.coder.Instrumented(st.site):
-		ccid = it.coder.Update(f.t, st.site)
+	} else if u := it.siteUpdate(st.site); u.Instrumented {
+		ccid = u.Apply(f.t)
 		it.encUpdates++
-		it.cycles += it.encCost()
+		it.cycles += it.encUpd
 	}
 	it.allocs++
 	it.allocsByFn[st.Fn]++
-	ptr, aerr := it.backend.Alloc(st.Fn, ccid, n, size.Uint(), align)
+	ptr, aerr := it.backend.Alloc(st.Fn, ccid, n, size, align)
 	if aerr != nil {
 		return it.crash(aerr)
 	}
-	f.vars[st.Dst] = Scalar(ptr)
+	f.define(st.Dst).setScalar(ptr)
 	return nil
 }
 
 func (it *Interp) execRealloc(st ReallocStmt, f *frame) error {
-	ptr, err := it.eval(st.Ptr, f)
+	ptr, err := it.evalNum(st.Ptr, f)
 	if err != nil {
 		return err
 	}
-	size, err := it.eval(st.Size, f)
+	size, err := it.evalNum(st.Size, f)
 	if err != nil {
 		return err
 	}
 	ccid := it.v
-	switch {
-	case st.CCID != nil:
-		cv, err := it.eval(st.CCID, f)
+	if st.CCID != nil {
+		cv, err := it.evalNum(st.CCID, f)
 		if err != nil {
 			return err
 		}
-		ccid = cv.Uint()
+		ccid = cv
 		it.encUpdates++
 		it.cycles += CycEncUpdatePCC
-	case it.coder != nil && it.coder.Instrumented(st.site):
-		ccid = it.coder.Update(f.t, st.site)
+	} else if u := it.siteUpdate(st.site); u.Instrumented {
+		ccid = u.Apply(f.t)
 		it.encUpdates++
-		it.cycles += it.encCost()
+		it.cycles += it.encUpd
 	}
 	it.allocs++
 	it.allocsByFn[heapsim.FnRealloc]++
-	newPtr, rerr := it.backend.Realloc(ccid, ptr.Uint(), size.Uint())
+	newPtr, rerr := it.backend.Realloc(ccid, ptr, size)
 	if rerr != nil {
 		return it.crash(rerr)
 	}
-	f.vars[st.Dst] = Scalar(newPtr)
+	f.define(st.Dst).setScalar(newPtr)
 	return nil
 }
 
 func (it *Interp) execCall(st Call, f *frame) (Value, error) {
-	callee := it.p.Funcs[st.Callee]
-	args := make([]Value, len(st.Args))
+	fi := it.funcs[st.Callee]
+	params := fi.fn.Params
+	// Arguments evaluate in order directly into the callee's recycled
+	// frame; extras beyond the parameter list still evaluate (for error
+	// ordering) before the arity check fires, matching the original
+	// args-then-check sequence.
+	cf := it.frameAt(it.depth + 1)
+	it.gen++
+	cf.gen = it.gen
 	for i, a := range st.Args {
-		v, err := it.eval(a, f)
+		u, ok, err := it.evalU(a, f)
 		if err != nil {
 			return Value{}, err
 		}
-		args[i] = v
+		var v Value
+		if !ok {
+			v, err = it.eval(a, f)
+			if err != nil {
+				return Value{}, err
+			}
+		}
+		if i < len(params) {
+			sl := cf.define(params[i])
+			if ok {
+				sl.setScalar(u)
+			} else {
+				sl.set(&v)
+			}
+		}
 	}
-	if len(args) != len(callee.Params) {
+	if len(st.Args) != len(params) {
 		return Value{}, fmt.Errorf("prog %s: call to %s with %d args, want %d",
-			it.p.Name, st.Callee, len(args), len(callee.Params))
+			it.p.Name, st.Callee, len(st.Args), len(params))
 	}
 	it.depth++
 	if it.depth > it.maxDepth {
@@ -599,21 +805,17 @@ func (it *Interp) execCall(st Call, f *frame) (Value, error) {
 	}
 	defer func() { it.depth-- }()
 
-	instrumented := it.coder != nil && it.coder.Instrumented(st.site)
-	if instrumented {
-		it.v = it.coder.Update(f.t, st.site)
+	if u := it.siteUpdate(st.site); u.Instrumented {
+		it.v = u.Apply(f.t)
 		it.encUpdates++
-		it.cycles += it.encCost()
+		it.cycles += it.encUpd
 	}
 	it.cycles += CycCall
-	nf := &frame{vars: make(map[string]Value, len(args)), t: it.v}
-	for i, p := range callee.Params {
-		nf.vars[p] = args[i]
-	}
-	if it.funcInstr != nil && it.funcInstr[st.Callee] {
+	cf.t = it.v
+	if fi.instr {
 		it.cycles += CycEncPrologue
 	}
-	_, ret, err := it.execBlock(callee.Body, nf)
+	_, ret, err := it.execBlock(fi.fn.Body, cf)
 	// Restore discipline: V returns to the caller's context value. For
 	// uninstrumented sites this is a no-op by the invariant that every
 	// callee restores V before returning.
@@ -624,50 +826,146 @@ func (it *Interp) execCall(st Call, f *frame) (Value, error) {
 	return ret, nil
 }
 
-// encCost is the virtual-cycle cost of one encoding update under the
-// bound encoder kind.
-func (it *Interp) encCost() uint64 {
-	if it.coder.Kind() == encoding.EncoderPCC {
-		return CycEncUpdatePCC
-	}
-	return CycEncUpdateAdditive
-}
-
 // evalAddr evaluates base+off, applying address use-point checks.
 func (it *Interp) evalAddr(base, off Expr, f *frame) (uint64, error) {
-	b, err := it.eval(base, f)
+	bu, bv, bf, err := it.evalV(base, f)
 	if err != nil {
 		return 0, err
 	}
-	it.backend.CheckUse(b, UseAddress, it.v)
+	it.use(bu, bv, bf, UseAddress)
 	if off == nil {
-		return b.Uint(), nil
+		return bu, nil
 	}
-	o, err := it.eval(off, f)
+	ou, ov, of, err := it.evalV(off, f)
 	if err != nil {
 		return 0, err
 	}
-	it.backend.CheckUse(o, UseAddress, it.v)
-	return b.Uint() + o.Uint(), nil
+	it.use(ou, ov, of, UseAddress)
+	return bu + ou, nil
 }
 
+// use applies a use-point check on an evaluated operand: fast-path
+// scalars are staged in an 8-byte scratch (bit-identical to the Value
+// the general evaluator would have produced), full Values pass through
+// unchanged. Elided entirely when the backend does not observe uses.
+func (it *Interp) use(u uint64, v Value, fast bool, kind UseKind) {
+	if !it.checkUse {
+		return
+	}
+	if fast {
+		binary.LittleEndian.PutUint64(it.ckBuf[:], u)
+		it.backend.CheckUse(Value{Bytes: it.ckBuf[:]}, kind, it.v)
+		return
+	}
+	it.backend.CheckUse(v, kind, it.v)
+}
+
+// evalV evaluates e for a consumer that needs the scalar and (for use
+// checks) the operand value: fast=true means the expression reduced on
+// the scalar path and v is unset.
+func (it *Interp) evalV(e Expr, f *frame) (u uint64, v Value, fast bool, err error) {
+	u, ok, err := it.evalU(e, f)
+	if err != nil {
+		return 0, Value{}, false, err
+	}
+	if ok {
+		return u, Value{}, true, nil
+	}
+	v, err = it.eval(e, f)
+	if err != nil {
+		return 0, Value{}, false, err
+	}
+	return v.Uint(), v, false, nil
+}
+
+// evalNum evaluates e for a pure numeric consumer (sizes, counts).
+func (it *Interp) evalNum(e Expr, f *frame) (uint64, error) {
+	u, ok, err := it.evalU(e, f)
+	if err != nil {
+		return 0, err
+	}
+	if ok {
+		return u, nil
+	}
+	v, err := it.eval(e, f)
+	if err != nil {
+		return 0, err
+	}
+	return v.Uint(), nil
+}
+
+// evalU is the allocation-free scalar fast path: it reduces pure
+// fully-valid 8-byte expressions without materializing Values. ok=false
+// means the expression involves shadowed or non-8-byte values and needs
+// the general evaluator; evaluation is side-effect-free, so callers
+// fall back to eval on the same expression.
+func (it *Interp) evalU(e Expr, f *frame) (u uint64, ok bool, err error) {
+	switch ex := e.(type) {
+	case Const:
+		return ex.V, true, nil
+	case Var:
+		sl, found := f.lookup(ex.Name)
+		if !found {
+			return 0, false, fmt.Errorf("prog %s: undefined variable %q", it.p.Name, ex.Name)
+		}
+		v := &sl.val
+		if v.Valid == nil && v.Origin == nil && len(v.Bytes) == 8 {
+			return binary.LittleEndian.Uint64(v.Bytes), true, nil
+		}
+		return 0, false, nil
+	case Bin:
+		a, ok, err := it.evalU(ex.A, f)
+		if err != nil || !ok {
+			return 0, false, err
+		}
+		b, ok, err := it.evalU(ex.B, f)
+		if err != nil || !ok {
+			return 0, false, err
+		}
+		r, err := binScalar(ex.Op, a, b)
+		if err != nil {
+			return 0, false, err
+		}
+		return r, true, nil
+	case InputLen:
+		return uint64(len(it.input)), true, nil
+	case InputRemaining:
+		return uint64(len(it.input) - it.inPos), true, nil
+	case Global:
+		sl := it.globals[ex.Name]
+		if sl == nil || sl.gen != it.runGen {
+			return 0, true, nil // undefined globals read as zero
+		}
+		v := &sl.val
+		if v.Valid == nil && v.Origin == nil && len(v.Bytes) == 8 {
+			return binary.LittleEndian.Uint64(v.Bytes), true, nil
+		}
+		return 0, false, nil
+	default:
+		return 0, false, nil
+	}
+}
+
+// eval is the general evaluator, retained for shadowed and non-scalar
+// values; Values read from variables alias slot storage and must be
+// consumed (or copied) before the slot is written again.
 func (it *Interp) eval(e Expr, f *frame) (Value, error) {
 	switch ex := e.(type) {
 	case Const:
 		return Scalar(ex.V), nil
 	case Var:
-		v, ok := f.vars[ex.Name]
+		sl, ok := f.lookup(ex.Name)
 		if !ok {
 			return Value{}, fmt.Errorf("prog %s: undefined variable %q", it.p.Name, ex.Name)
 		}
-		return v, nil
+		return sl.val, nil
 	case InputLen:
 		return Scalar(uint64(len(it.input))), nil
 	case InputRemaining:
 		return Scalar(uint64(len(it.input) - it.inPos)), nil
 	case Global:
-		if v, ok := it.globals[ex.Name]; ok {
-			return v, nil
+		if sl := it.globals[ex.Name]; sl != nil && sl.gen == it.runGen {
+			return sl.val, nil
 		}
 		return Scalar(0), nil
 	case Bin:

@@ -13,7 +13,10 @@
 // precisely what lets patches generated offline match buffers online.
 package prog
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // Value is a runtime value: a byte string with optional shadow state.
 // Scalars (addresses, lengths, flags) are 8-byte little-endian values.
@@ -36,22 +39,19 @@ type Value struct {
 // Scalar builds a fully-valid 8-byte scalar value.
 func Scalar(v uint64) Value {
 	b := make([]byte, 8)
-	for i := 0; i < 8; i++ {
-		b[i] = byte(v >> (8 * i))
-	}
+	binary.LittleEndian.PutUint64(b, v)
 	return Value{Bytes: b}
 }
 
 // Uint returns the value's scalar interpretation: the first 8 bytes,
 // little endian; missing bytes read as zero.
 func (v Value) Uint() uint64 {
-	var out uint64
-	n := len(v.Bytes)
-	if n > 8 {
-		n = 8
+	if len(v.Bytes) >= 8 {
+		return binary.LittleEndian.Uint64(v.Bytes)
 	}
-	for i := 0; i < n; i++ {
-		out |= uint64(v.Bytes[i]) << (8 * i)
+	var out uint64
+	for i, b := range v.Bytes {
+		out |= uint64(b) << (8 * i)
 	}
 	return out
 }

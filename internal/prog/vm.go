@@ -106,6 +106,12 @@ func (r *reg) set(src *Value) {
 // shadow semantics, allocation-free. Operand shadow is read before the
 // register is touched, so dst may alias an operand.
 func (r *reg) setBin(result uint64, a, b *Value) {
+	if a.Valid == nil && b.Valid == nil {
+		// Both operands carry no shadow planes: scalarShadow would
+		// report them fully valid, so the result is a clean scalar.
+		r.setScalar(result)
+		return
+	}
 	av, ao := a.scalarShadow()
 	bv, bo := b.scalarShadow()
 	r.setScalar(result)
@@ -349,16 +355,22 @@ func (vm *VM) undefVar(name string) error {
 }
 
 // rd resolves an operand: a register (definedness-checked, with the
-// tree-walker's exact error) or an interned constant.
+// tree-walker's exact error) or an interned constant. Error
+// construction is outlined to rdUndef so rd itself stays inlinable.
 func (vm *VM) rd(f *frameV, o int32) (*Value, error) {
 	if o >= 0 {
 		r := &f.regs[o]
 		if !r.def {
-			return nil, vm.undefVar(vm.c.funcs[f.fn].regNames[o])
+			return nil, vm.rdUndef(f, o)
 		}
 		return &r.val, nil
 	}
 	return &vm.c.consts[^o], nil
+}
+
+//go:noinline
+func (vm *VM) rdUndef(f *frameV, o int32) error {
+	return vm.undefVar(vm.c.funcs[f.fn].regNames[o])
 }
 
 // effAddr forms base+off with the address use-point checks, mirroring
