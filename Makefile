@@ -11,7 +11,7 @@ RACE_PKGS := ./internal/defense/ ./internal/prog/ ./internal/fleet/ ./internal/c
 COVER_GATE_PKGS := ./internal/heapsim/ ./internal/campaign/ ./internal/defense/ ./internal/shadow/ ./internal/mem/ ./internal/telemetry/
 COVER_MIN := 80
 
-.PHONY: all build test race vet fmt-check bench bench-json bench-fleet bench-vm bench-encoding bench-smoke bench-telemetry check cover corpus fuzz-smoke
+.PHONY: all build test race vet fmt-check bench bench-json bench-fleet bench-vm bench-compiled bench-encoding bench-smoke bench-telemetry check cover corpus fuzz-smoke
 
 all: check
 
@@ -54,6 +54,16 @@ BENCHTIME ?= 1s
 bench-vm:
 	$(GO) test -run '^$$' -bench 'BenchmarkEngines|BenchmarkCompile' -benchmem \
 		-benchtime $(BENCHTIME) ./internal/prog/
+
+# Tier-up compiled engine: the encoded-call benchmarks across all
+# three engines, the promotion-parity and zero-alloc pins, and the
+# tierup experiment's three-engine geomean table (the committed
+# BENCH_*.json baseline requires >= 1.5x geomean over the VM).
+bench-compiled:
+	$(GO) test -run 'Machine|EncodedCall' -count 1 -v ./internal/prog/ | grep -E '^(--- (PASS|FAIL)|ok|FAIL)'
+	$(GO) test -run '^$$' -bench 'BenchmarkEncodedCall' -benchmem \
+		-benchtime $(BENCHTIME) ./internal/prog/
+	$(GO) run ./cmd/htp-bench -exp tierup
 
 # Encoding-path benchmarks and allocation pins: planner scratch reuse,
 # the per-call update arithmetic (0 allocs/op), and the end-to-end

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	htp-bench [-exp all|encoding|table2|table3|table4|fig8|fig9|services|ablation|guard|fleet|telemetry|vm] [-quick] [-scale N] [-engine tree|vm]
+//	htp-bench [-exp all|encoding|table2|table3|table4|fig8|fig9|services|ablation|guard|fleet|telemetry|vm|tierup] [-quick] [-scale N] [-engine tree|vm|compiled] [-tierup N]
 package main
 
 import (
@@ -29,11 +29,12 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("htp-bench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to run: all, encoding, table2, table3, table4, fig8, fig9, services, concurrent, ablation, stackoffset, scaling, guard, fleet, telemetry, vm")
+	exp := fs.String("exp", "all", "experiment to run: all, encoding, table2, table3, table4, fig8, fig9, services, concurrent, ablation, stackoffset, scaling, guard, fleet, telemetry, vm, tierup")
 	quick := fs.Bool("quick", false, "trim sweeps for a fast run")
 	scale := fs.Uint64("scale", 0, "divisor for Table IV allocation counts (default 10000)")
 	jsonOut := fs.Bool("json", false, "emit per-experiment wall time and allocations as JSON instead of rendered tables")
-	engineName := fs.String("engine", "vm", "execution engine for measured runs: tree or vm (results are bit-identical; vm is faster)")
+	engineName := fs.String("engine", "vm", "execution engine for measured runs: tree, vm, or compiled (results are bit-identical; vm and compiled are faster)")
+	tierUp := fs.Uint64("tierup", 0, "compiled-engine promotion threshold in calls (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -41,15 +42,17 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	cfg := experiments.Config{Quick: *quick, Scale: *scale, Engine: engine}
+	cfg := experiments.Config{Quick: *quick, Scale: *scale, Engine: engine, TierUp: *tierUp}
 
 	type runner struct {
 		name string
 		fn   func() (fmt.Stringer, error)
 	}
-	// vmResult captures the engine comparison so -json can record the
-	// speedup and zero-alloc pin alongside the wall time.
+	// vmResult / tierUpResult capture the engine comparisons so -json
+	// can record the speedups and zero-alloc pins alongside the wall
+	// time.
 	var vmResult *experiments.VMComparisonResult
+	var tierUpResult *experiments.TierUpComparisonResult
 	wrap := func(f func(experiments.Config) (interface{ Render() string }, error)) func() (fmt.Stringer, error) {
 		return func() (fmt.Stringer, error) {
 			r, err := f(cfg)
@@ -107,6 +110,13 @@ func run(args []string) error {
 			}
 			return r, err
 		})},
+		{"tierup", wrap(func(c experiments.Config) (interface{ Render() string }, error) {
+			r, err := experiments.TierUpComparison(c)
+			if err == nil {
+				tierUpResult = r
+			}
+			return r, err
+		})},
 		{"guard", func() (fmt.Stringer, error) {
 			global, targeted, err := experiments.GlobalGuardBaseline(cfg)
 			if err != nil {
@@ -151,6 +161,14 @@ func run(args []string) error {
 					"steady_state_allocs_op": vmResult.SteadyStateAllocs,
 				}
 			}
+			if r.name == "tierup" && tierUpResult != nil {
+				br.Detail = map[string]float64{
+					"geomean_vs_vm":          tierUpResult.GeomeanVsVM,
+					"geomean_vs_tree":        tierUpResult.GeomeanVsTree,
+					"tierup_threshold":       float64(tierUpResult.Threshold),
+					"steady_state_allocs_op": tierUpResult.SteadyStateAllocs,
+				}
+			}
 			results = append(results, br)
 		} else {
 			fmt.Println(out.String())
@@ -163,12 +181,17 @@ func run(args []string) error {
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
+		tierUpRecorded := *tierUp
+		if tierUpRecorded == 0 {
+			tierUpRecorded = prog.DefaultTierUp
+		}
 		return enc.Encode(benchReport{
 			GoVersion:   runtime.Version(),
 			GOOS:        runtime.GOOS,
 			GOARCH:      runtime.GOARCH,
 			GOMAXPROCS:  runtime.GOMAXPROCS(0),
 			Engine:      engine.String(),
+			TierUp:      tierUpRecorded,
 			Quick:       *quick,
 			Experiments: results,
 		})
@@ -180,11 +203,14 @@ func run(args []string) error {
 // record per experiment, suitable for committed BENCH_*.json baselines
 // and cross-run comparison.
 type benchReport struct {
-	GoVersion   string        `json:"go_version"`
-	GOOS        string        `json:"goos"`
-	GOARCH      string        `json:"goarch"`
-	GOMAXPROCS  int           `json:"gomaxprocs"`
-	Engine      string        `json:"engine"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Engine     string `json:"engine"`
+	// TierUp is the compiled engine's promotion threshold in effect for
+	// this report (the resolved default when -tierup was not given).
+	TierUp      uint64        `json:"tierup_threshold"`
 	Quick       bool          `json:"quick"`
 	Experiments []benchResult `json:"experiments"`
 }

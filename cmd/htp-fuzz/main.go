@@ -74,7 +74,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seeds      = fs.Uint64("seeds", 100, "number of seeds to campaign over")
 		start      = fs.Uint64("start", 0, "first seed")
 		kindsFlag  = fs.String("kinds", "", "comma-separated vulnerability kinds (default: all)")
-		engines    = fs.String("engines", "", "comma-separated engines: tree,vm (default: all)")
+		engines    = fs.String("engines", "", "comma-separated engines: tree,vm,compiled (default: all)")
 		allocs     = fs.String("allocators", "", "comma-separated allocators: heap,pool (default: all)")
 		jsonOut    = fs.Bool("json", false, "emit a JSON report on stdout")
 		reduce     = fs.Bool("reduce", false, "minimize each failing program and include it in the report")
@@ -100,15 +100,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	oracle := campaign.Oracle{}
 	if *engines != "" {
 		for _, name := range strings.Split(*engines, ",") {
-			switch strings.TrimSpace(name) {
-			case "tree":
-				oracle.Engines = append(oracle.Engines, prog.EngineTree)
-			case "vm":
-				oracle.Engines = append(oracle.Engines, prog.EngineVM)
-			default:
-				fmt.Fprintf(stderr, "unknown engine %q (want tree or vm)\n", name)
+			e, err := prog.ParseEngine(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(stderr, err)
 				return 2
 			}
+			oracle.Engines = append(oracle.Engines, e)
 		}
 	}
 	if *allocs != "" {

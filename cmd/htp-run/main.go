@@ -55,7 +55,8 @@ func run(args []string, stdout io.Writer) error {
 	benign := fs.Int("benign", -1, "use the N-th built-in benign input instead of the attack")
 	threads := fs.Int("threads", 1, "run N copies concurrently over one shared heap")
 	encoderName := fs.String("encoder", "PCC", "calling-context encoder; must match the one htp-patchgen used")
-	engineName := fs.String("engine", "tree", "execution engine: tree (reference interpreter) or vm (bytecode)")
+	engineName := fs.String("engine", "tree", "execution engine: tree (reference interpreter), vm (bytecode), or compiled (tier-up closures)")
+	tierUp := fs.Uint64("tierup", 0, "compiled-engine promotion threshold in calls (0 = default)")
 	telemetryFmt := fs.String("telemetry", "", `append a telemetry report after the run: "table" or "json"`)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -121,7 +122,7 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	sys, err := core.NewSystem(program, core.Options{Encoder: encKind, Engine: engine, Telemetry: tcol})
+	sys, err := core.NewSystem(program, core.Options{Encoder: encKind, Engine: engine, TierUp: *tierUp, Telemetry: tcol})
 	if err != nil {
 		return err
 	}

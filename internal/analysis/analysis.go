@@ -60,9 +60,11 @@ type Analyzer struct {
 	ShadowConfig shadow.Config
 	// MaxSteps bounds the replay (0 = interpreter default).
 	MaxSteps uint64
-	// Engine selects the replay substrate (tree interpreter or bytecode
-	// VM); both record identical warning streams.
+	// Engine selects the replay substrate (tree interpreter, bytecode
+	// VM, or tier-up machine); all record identical warning streams.
 	Engine prog.Engine
+	// TierUp is the compiled engine's promotion threshold (0 = default).
+	TierUp uint64
 }
 
 // Analyze replays the program on the attack input and generates
@@ -81,6 +83,7 @@ func (a *Analyzer) Analyze(p *prog.Program, attackInput []byte) (*Report, error)
 		Coder:    a.Coder,
 		MaxSteps: a.MaxSteps,
 		Engine:   a.Engine,
+		TierUp:   a.TierUp,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("analysis: building interpreter: %w", err)

@@ -11,7 +11,9 @@ func TestOracleCleanSeeds(t *testing.T) {
 	o := Oracle{}
 	seeds := uint64(30)
 	if raceEnabled {
-		seeds = 8
+		// The compiled engine widened the matrix from 20 to 30 cells
+		// per seed; scale the raced band down accordingly.
+		seeds = 5
 	}
 	for seed := uint64(0); seed < seeds; seed++ {
 		g, err := Generate(seed, GenConfig{})

@@ -775,8 +775,7 @@ func (d *Defender) ProbePatched(fn heapsim.AllocFn, ccid uint64) bool {
 	}
 	key := patch.Key{Fn: fn, CCID: ccid}
 	if d.shared != nil {
-		types, _ := d.shared.Lookup(key)
-		return types != 0
+		return d.shared.Probe(key) != 0
 	}
 	if d.table == nil {
 		return false

@@ -95,6 +95,26 @@ func (t *SealedTable) Lookup(k patch.Key) (patch.TypeMask, int) {
 	}
 }
 
+// Probe is Lookup minus the per-slot hit tally: the side-effect-free
+// variant backing Defender.ProbePatched. Verdict-cache revalidation in
+// the VM and compiled engines probes the table once per generation
+// bump; counting those probes in the fleet-wide per-patch hit tally
+// would make the tally engine-dependent (it must count defended
+// allocations, which only the allocation-path Lookup performs).
+func (t *SealedTable) Probe(k patch.Key) patch.TypeMask {
+	key := packKey(k)
+	for i := mix(key); ; i++ {
+		off := (i & t.mask) * 2
+		cur := t.slots[off]
+		if cur == 0 {
+			return 0
+		}
+		if cur == key {
+			return patch.TypeMask(t.slots[off+1])
+		}
+	}
+}
+
 // Entries reports the number of patches sealed into the table.
 func (t *SealedTable) Entries() int { return t.entries }
 

@@ -9,8 +9,9 @@ import (
 // TestExperimentsEngineIndependent locks in the claim the Config.Engine
 // doc makes: every deterministic (cycle-axis) experiment renders a
 // bit-identical report whether the programs execute on the tree
-// interpreter or the bytecode VM. Wall-clock experiments (vm, and the
-// throughput columns of fleet/concurrent) are excluded by design.
+// interpreter, the bytecode VM, or the tier-up compiled machine.
+// Wall-clock experiments (vm, tierup, and the throughput columns of
+// fleet/concurrent) are excluded by design.
 func TestExperimentsEngineIndependent(t *testing.T) {
 	cases := []struct {
 		name string
@@ -51,12 +52,14 @@ func TestExperimentsEngineIndependent(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			vm, err := c.run(Config{Quick: true, Engine: prog.EngineVM})
-			if err != nil {
-				t.Fatal(err)
-			}
-			if tree != vm {
-				t.Errorf("render differs across engines\n--- tree ---\n%s\n--- vm ---\n%s", tree, vm)
+			for _, e := range []prog.Engine{prog.EngineVM, prog.EngineCompiled} {
+				got, err := c.run(Config{Quick: true, Engine: e})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if tree != got {
+					t.Errorf("render differs across engines\n--- tree ---\n%s\n--- %v ---\n%s", tree, e, got)
+				}
 			}
 		})
 	}

@@ -274,3 +274,38 @@ func TestPatchScalingIsFlat(t *testing.T) {
 	}
 	t.Logf("patch scaling: %v", r.Rows)
 }
+
+// TestTierUpComparisonShape runs the encoded-call suite in quick mode
+// and pins the structural contracts: every row promoted at least one
+// function, all three engines agreed on cycles (TierUpComparison
+// errors otherwise), the threshold is recorded, and the fully-promoted
+// closure tier allocates nothing per run.
+func TestTierUpComparisonShape(t *testing.T) {
+	r, err := TierUpComparison(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range r.Rows {
+		if row.Promotions == 0 {
+			t.Errorf("%s: machine never promoted", row.Bench)
+		}
+		if row.Cycles == 0 {
+			t.Errorf("%s: zero cycles recorded", row.Bench)
+		}
+		if row.CompiledNsOp <= 0 || row.VMNsOp <= 0 || row.TreeNsOp <= 0 {
+			t.Errorf("%s: non-positive timing: %+v", row.Bench, row)
+		}
+	}
+	if r.Threshold == 0 {
+		t.Error("threshold not recorded")
+	}
+	if r.SteadyStateAllocs != 0 {
+		t.Errorf("steady-state compiled allocs/run = %.1f, want 0", r.SteadyStateAllocs)
+	}
+	if !strings.Contains(r.Render(), "geomean") {
+		t.Error("render missing geomean headline")
+	}
+}

@@ -192,18 +192,27 @@ func internedCompiled(p *prog.Program, coder *encoding.Coder) (*prog.Compiled, e
 	return c, nil
 }
 
-// execFor builds an executor like prog.NewExec but routes the VM
-// engine through the compiled-bytecode cache, so repeated runs of the
-// same (program, coder) pair compile once.
+// execFor builds an executor like prog.NewExec but routes the bytecode
+// engines through the compiled-bytecode cache, so repeated runs of the
+// same (program, coder) pair compile once. The tier-up machine uses
+// the default promotion threshold; experiments that sweep thresholds
+// construct their machines directly.
 func execFor(engine prog.Engine, p *prog.Program, coder *encoding.Coder, backend prog.HeapBackend) (prog.Exec, error) {
-	if engine == prog.EngineVM {
+	switch engine {
+	case prog.EngineTree:
+		return prog.New(p, prog.Config{Backend: backend, Coder: coder})
+	case prog.EngineVM, prog.EngineCompiled:
 		c, err := internedCompiled(p, coder)
 		if err != nil {
 			return nil, err
 		}
-		return prog.NewVM(c, prog.Config{Backend: backend, Coder: coder, Engine: engine})
+		if engine == prog.EngineCompiled {
+			return prog.NewMachine(c, prog.Config{Backend: backend, Coder: coder})
+		}
+		return prog.NewVM(c, prog.Config{Backend: backend, Coder: coder})
+	default:
+		return nil, fmt.Errorf("experiments: unknown engine %v", engine)
 	}
-	return prog.New(p, prog.Config{Backend: backend, Coder: coder, Engine: engine})
 }
 
 // workbench recycles the mutable execution substrate — address

@@ -132,7 +132,11 @@ func TestFleetVMReusedInstanceAcrossReset(t *testing.T) {
 }
 
 // TestFleetServeEngines: full parallel Serve must return the same
-// per-request results and merged fleet statistics under both engines.
+// per-request results and merged fleet statistics under all three
+// engines. The compiled serve uses a tier-up threshold in the middle
+// of the per-worker request count, so workers promote functions while
+// the corpus is in flight and later requests run on closure code the
+// earlier ones compiled — through the shared fleet-wide cache.
 func TestFleetServeEngines(t *testing.T) {
 	p := uafProgram()
 	coder, patches := analyzeUAF(t, p)
@@ -145,28 +149,39 @@ func TestFleetServeEngines(t *testing.T) {
 			inputs[i] = []byte{0x00}
 		}
 	}
-	serve := func(engine prog.Engine) ([]*prog.Result, Stats) {
-		f := New(Config{Workers: 4, Defended: true, Patches: patches, Engine: engine})
+	serve := func(engine prog.Engine, tierUp uint64) ([]*prog.Result, Stats) {
+		f := New(Config{Workers: 4, Defended: true, Patches: patches, Engine: engine, TierUp: tierUp})
 		res, err := f.Serve(p, coder, inputs)
 		if err != nil {
 			t.Fatal(err)
 		}
 		return res, f.Stats()
 	}
-	tres, tstats := serve(prog.EngineTree)
-	vres, vstats := serve(prog.EngineVM)
-	for i := range tres {
-		if !bytes.Equal(tres[i].Output, vres[i].Output) ||
-			tres[i].Steps != vres[i].Steps ||
-			tres[i].Cycles != vres[i].Cycles ||
-			tres[i].Crashed() != vres[i].Crashed() {
-			t.Errorf("request %d diverges across engines\ntree: %+v\nvm:   %+v", i, tres[i], vres[i])
+	tres, tstats := serve(prog.EngineTree, 0)
+	for _, c := range []struct {
+		name   string
+		engine prog.Engine
+		tierUp uint64
+	}{
+		{"vm", prog.EngineVM, 0},
+		{"compiled-mid-corpus", prog.EngineCompiled, 3},
+		{"compiled-immediate", prog.EngineCompiled, 1},
+	} {
+		vres, vstats := serve(c.engine, c.tierUp)
+		for i := range tres {
+			if !bytes.Equal(tres[i].Output, vres[i].Output) ||
+				tres[i].Steps != vres[i].Steps ||
+				tres[i].Cycles != vres[i].Cycles ||
+				tres[i].Crashed() != vres[i].Crashed() {
+				t.Errorf("request %d diverges across engines\ntree: %+v\n%s:   %+v", i, tres[i], c.name, vres[i])
+			}
 		}
-	}
-	// ContextsBuilt depends on pool behavior, not the engine contract;
-	// everything else must match exactly.
-	tstats.ContextsBuilt, vstats.ContextsBuilt = 0, 0
-	if !reflect.DeepEqual(tstats, vstats) {
-		t.Errorf("fleet stats diverge\ntree: %+v\nvm:   %+v", tstats, vstats)
+		// ContextsBuilt depends on pool behavior, not the engine
+		// contract; everything else must match exactly.
+		ts, vs := tstats, vstats
+		ts.ContextsBuilt, vs.ContextsBuilt = 0, 0
+		if !reflect.DeepEqual(ts, vs) {
+			t.Errorf("fleet stats diverge\ntree: %+v\n%s:   %+v", ts, c.name, vs)
+		}
 	}
 }

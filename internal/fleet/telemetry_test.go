@@ -1,8 +1,10 @@
 package fleet
 
 import (
+	"reflect"
 	"testing"
 
+	"heaptherapy/internal/prog"
 	"heaptherapy/internal/telemetry"
 )
 
@@ -83,6 +85,63 @@ func TestFleetTelemetryMerge(t *testing.T) {
 	for _, e := range snap.EventsOfKind(telemetry.EvPatchHit) {
 		if !truth[e.Site] {
 			t.Errorf("patch-hit event site %#x is not a deployed patch", e.Site)
+		}
+	}
+}
+
+// TestFleetTelemetryEngineParity pins the promotion-transparency
+// contract at the observability layer: the exact same defended corpus,
+// served single-worker so the event stream is deterministic, must
+// produce identical telemetry — counter totals, sealed-table patch-hit
+// tallies, and the full retained event trace, sequence numbers
+// included — whether requests execute on the tree interpreter, the
+// bytecode VM, or the tier-up machine promoting functions mid-corpus.
+// A compiled closure that skipped an allocator event, double-counted a
+// patch hit, or reordered the trace would diverge here.
+func TestFleetTelemetryEngineParity(t *testing.T) {
+	p := uafProgram()
+	coder, patches := analyzeUAF(t, p)
+	inputs := make([][]byte, 16)
+	for i := range inputs {
+		if i%4 == 0 {
+			inputs[i] = []byte{0xEE} // attack
+		} else {
+			inputs[i] = []byte{0x00}
+		}
+	}
+	serve := func(engine prog.Engine, tierUp uint64) (*telemetry.Snapshot, Stats) {
+		col := telemetry.New(telemetry.Config{})
+		f := New(Config{Workers: 1, Defended: true, Patches: patches,
+			Engine: engine, TierUp: tierUp, Telemetry: col})
+		if _, err := f.Serve(p, coder, inputs); err != nil {
+			t.Fatal(err)
+		}
+		st := f.Stats()
+		return st.Telemetry, st
+	}
+	tsnap, tstats := serve(prog.EngineTree, 0)
+	for _, c := range []struct {
+		name   string
+		engine prog.Engine
+		tierUp uint64
+	}{
+		{"vm", prog.EngineVM, 0},
+		{"compiled-mid-corpus", prog.EngineCompiled, 3},
+	} {
+		snap, stats := serve(c.engine, c.tierUp)
+		if !reflect.DeepEqual(tsnap.Counters, snap.Counters) {
+			t.Errorf("%s: counters diverge\ntree: %v\n%s:   %v", c.name, tsnap.Counters, c.name, snap.Counters)
+		}
+		if tsnap.EventsTotal != snap.EventsTotal {
+			t.Errorf("%s: events_total %d != tree %d", c.name, snap.EventsTotal, tsnap.EventsTotal)
+		}
+		if !reflect.DeepEqual(tsnap.Events, snap.Events) {
+			t.Errorf("%s: event traces diverge (tree %d events, %s %d events)",
+				c.name, len(tsnap.Events), c.name, len(snap.Events))
+		}
+		if !reflect.DeepEqual(tstats.PatchHits, stats.PatchHits) {
+			t.Errorf("%s: sealed-table patch hits diverge\ntree: %v\n%s:   %v",
+				c.name, tstats.PatchHits, c.name, stats.PatchHits)
 		}
 	}
 }

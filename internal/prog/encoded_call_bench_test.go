@@ -44,6 +44,45 @@ func encodedCallProgram(iters uint64) *Program {
 	})
 }
 
+// encodedCallDenseProgram is the dispatch-bound variant: the helpers
+// statically reach malloc (so the plan instruments every call site and
+// each call pays a SiteUpdate), but the allocation hides behind a
+// branch the loop counter never satisfies, so the allocator is cold
+// and the measured time is dominated by dispatch, encoded-call
+// updates, and arithmetic — the part of the pipeline the engines
+// actually differ on.
+func encodedCallDenseProgram(iters uint64) *Program {
+	never := Bin{Op: OpGt, A: V("x"), B: C(1 << 40)}
+	body := func(ret Expr) []Stmt {
+		return []Stmt{
+			If{Cond: never, Then: []Stmt{
+				Alloc{Dst: "p", Size: C(16)},
+				FreeStmt{Ptr: V("p")},
+			}},
+			Return{E: ret},
+		}
+	}
+	return MustLink(&Program{
+		Name: "encoded-call-dense",
+		Funcs: map[string]*Func{
+			"main": {Body: []Stmt{
+				Assign{Dst: "i", E: C(0)},
+				Assign{Dst: "acc", E: C(0)},
+				While{Cond: Bin{Op: OpLt, A: V("i"), B: C(iters)}, Body: []Stmt{
+					Call{Dst: "acc", Callee: "mixa", Args: []Expr{V("acc"), V("i")}},
+					Call{Dst: "acc", Callee: "mixb", Args: []Expr{V("acc"), V("i")}},
+					Assign{Dst: "i", E: Bin{Op: OpAdd, A: V("i"), B: C(1)}},
+				}},
+				Return{E: V("acc")},
+			}},
+			"mixa": {Params: []string{"a", "x"}, Body: body(
+				Bin{Op: OpXor, A: Bin{Op: OpMul, A: V("a"), B: C(33)}, B: V("x")})},
+			"mixb": {Params: []string{"a", "x"}, Body: body(
+				Bin{Op: OpMul, A: Bin{Op: OpAdd, A: V("a"), B: V("x")}, B: C(17)})},
+		},
+	})
+}
+
 func encodedCallCoder(tb testing.TB, p *Program) *encoding.Coder {
 	tb.Helper()
 	plan, err := encoding.NewPlan(encoding.SchemeIncremental, p.Graph(), p.Targets())
@@ -114,6 +153,96 @@ func BenchmarkEncodedCall(b *testing.B) {
 			}
 		}
 	})
+	b.Run("compiled", func(b *testing.B) {
+		p := encodedCallProgram(iters)
+		coder := encodedCallCoder(b, p)
+		c, err := Compile(p, coder)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := NewMachine(c, Config{Backend: encodedCallBackend(b), Coder: coder, TierUp: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var res Result
+		// Promote every function before the timer starts so the loop
+		// measures the steady-state closure tier, not compilation.
+		if err := m.RunReuse(&res, nil); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := m.RunReuse(&res, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEncodedCallDense measures the dispatch-bound encoded-call
+// path (see encodedCallDenseProgram): every call site pays a
+// SiteUpdate, the allocator stays cold, and the spread between the
+// engines is pure interpretation overhead. This is the workload the
+// tier-up engine is built for.
+func BenchmarkEncodedCallDense(b *testing.B) {
+	const iters = 512
+	p := encodedCallDenseProgram(iters)
+	b.Run("tree", func(b *testing.B) {
+		coder := encodedCallCoder(b, p)
+		it, err := New(p, Config{Backend: encodedCallBackend(b), Coder: coder})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := it.Run(nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("vm", func(b *testing.B) {
+		coder := encodedCallCoder(b, p)
+		c, err := Compile(p, coder)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vm, err := NewVM(c, Config{Backend: encodedCallBackend(b), Coder: coder})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var res Result
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := vm.RunReuse(&res, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compiled", func(b *testing.B) {
+		coder := encodedCallCoder(b, p)
+		c, err := Compile(p, coder)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := NewMachine(c, Config{Backend: encodedCallBackend(b), Coder: coder, TierUp: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var res Result
+		if err := m.RunReuse(&res, nil); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := m.RunReuse(&res, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // TestEncodedCallTreeAllocsFlat pins the tree-walker's hot path: once
@@ -173,5 +302,40 @@ func TestEncodedCallVMZeroAlloc(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("steady-state encoded RunReuse allocates %.1f objects/run, want 0", allocs)
+	}
+}
+
+// TestEncodedCallMachineZeroAlloc extends the zero-allocation pin to
+// the tier-up engine: once every function is promoted, the compiled
+// tier's encoded-call path — baked SiteUpdate arithmetic, closure
+// dispatch, frame recycle, alloc/free — must not allocate either.
+func TestEncodedCallMachineZeroAlloc(t *testing.T) {
+	p := encodedCallProgram(512)
+	coder := encodedCallCoder(t, p)
+	c, err := Compile(p, coder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(c, Config{Backend: encodedCallBackend(t), Coder: coder, TierUp: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res Result
+	if err := m.RunReuse(&res, nil); err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashed() {
+		t.Fatalf("warmup crashed: %v", res.Fault)
+	}
+	if m.Promotions() == 0 {
+		t.Fatal("warmup never promoted; pin would measure the cold tier")
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := m.RunReuse(&res, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state compiled encoded RunReuse allocates %.1f objects/run, want 0", allocs)
 	}
 }

@@ -3,10 +3,13 @@ package prog
 import "fmt"
 
 // Engine selects the execution substrate for a linked program: the
-// reference tree-walking interpreter, or the bytecode VM compiled from
-// the same AST. The two are differentially verified to be
-// bit-identical (results, statistics, crashes, cycle accounting); the
-// tree-walker remains the semantic reference, the VM the fast path.
+// reference tree-walking interpreter, the bytecode VM compiled from
+// the same AST, or the tier-up compiled engine that promotes hot
+// functions from bytecode to closure code at runtime. All three are
+// differentially verified to be bit-identical (results, statistics,
+// crashes, cycle accounting); the tree-walker remains the semantic
+// reference, the VM the portable fast path, the compiled engine the
+// top tier.
 type Engine uint8
 
 // Engines.
@@ -17,6 +20,11 @@ const (
 	// EngineVM compiles the program once to flat bytecode and executes
 	// it on the register VM (see compile.go / vm.go).
 	EngineVM
+	// EngineCompiled executes the same bytecode on the tier-up
+	// Machine: functions start interpreted and are promoted to
+	// closure-threaded code once hot (see jit.go; Config.TierUp sets
+	// the promotion threshold).
+	EngineCompiled
 )
 
 func (e Engine) String() string {
@@ -25,13 +33,15 @@ func (e Engine) String() string {
 		return "tree"
 	case EngineVM:
 		return "vm"
+	case EngineCompiled:
+		return "compiled"
 	default:
 		return fmt.Sprintf("Engine(%d)", uint8(e))
 	}
 }
 
 // AllEngines lists the engines, reference first.
-func AllEngines() []Engine { return []Engine{EngineTree, EngineVM} }
+func AllEngines() []Engine { return []Engine{EngineTree, EngineVM, EngineCompiled} }
 
 // ParseEngine parses an engine name (as printed by String).
 func ParseEngine(s string) (Engine, error) {
@@ -91,9 +101,9 @@ func SetQuantumHook(ex Exec, every uint64, fn func()) bool {
 }
 
 // NewExec constructs an executor for p per cfg.Engine. EngineTree
-// yields the reference interpreter; EngineVM compiles p (once per
-// call — share a Compiled via NewVM to amortize across instances) and
-// yields a VM.
+// yields the reference interpreter; EngineVM and EngineCompiled
+// compile p (once per call — share a Compiled via NewVM/NewMachine to
+// amortize across instances) and yield a VM or tier-up Machine.
 func NewExec(p *Program, cfg Config) (Exec, error) {
 	switch cfg.Engine {
 	case EngineTree:
@@ -104,6 +114,12 @@ func NewExec(p *Program, cfg Config) (Exec, error) {
 			return nil, err
 		}
 		return NewVM(c, cfg)
+	case EngineCompiled:
+		c, err := Compile(p, cfg.Coder)
+		if err != nil {
+			return nil, err
+		}
+		return NewMachine(c, cfg)
 	default:
 		return nil, fmt.Errorf("prog: unknown engine %v", cfg.Engine)
 	}

@@ -1,0 +1,61 @@
+package prog
+
+// Error-path coverage for the engine seam and the compiler front door,
+// driven through NewExec with the compiled engine so construction
+// failures surface exactly where fleet and campaign callers would hit
+// them.
+
+import (
+	"strings"
+	"testing"
+)
+
+// bogus AST nodes: satisfy the interfaces but are unknown to both the
+// compiler's lowering switches, standing in for a future node type a
+// refactor forgot to lower.
+type bogusExpr struct{}
+
+func (bogusExpr) isExpr() {}
+
+type bogusStmt struct{}
+
+func (bogusStmt) isStmt() {}
+
+// TestNewExecCompiledErrors walks the construction error paths of the
+// compiled engine via the engine-independent entry point: an unlinked
+// program, ASTs the compiler cannot lower (mutated after Link so the
+// front end does not reject them first), and an engine value outside
+// the enum.
+func TestNewExecCompiledErrors(t *testing.T) {
+	t.Run("unlinked", func(t *testing.T) {
+		p := &Program{Name: "unlinked", Funcs: map[string]*Func{
+			"main": {Body: []Stmt{Return{E: C(0)}}},
+		}}
+		_, err := NewExec(p, Config{Backend: newNative(t), Engine: EngineCompiled})
+		if err == nil || !strings.Contains(err.Error(), "not linked") {
+			t.Errorf("unlinked program: err = %v, want not-linked error", err)
+		}
+	})
+	t.Run("unknown-expression", func(t *testing.T) {
+		p := hotProgram(4)
+		p.Funcs["main"].Body[0] = Assign{Dst: "i", E: bogusExpr{}}
+		_, err := NewExec(p, Config{Backend: newNative(t), Engine: EngineCompiled})
+		if err == nil || !strings.Contains(err.Error(), "unknown expression") {
+			t.Errorf("bogus operand: err = %v, want unknown-expression error", err)
+		}
+	})
+	t.Run("unknown-statement", func(t *testing.T) {
+		p := hotProgram(4)
+		p.Funcs["main"].Body[0] = bogusStmt{}
+		_, err := NewExec(p, Config{Backend: newNative(t), Engine: EngineCompiled})
+		if err == nil || !strings.Contains(err.Error(), "unknown statement") {
+			t.Errorf("bogus statement: err = %v, want unknown-statement error", err)
+		}
+	})
+	t.Run("unknown-engine-threads", func(t *testing.T) {
+		_, err := RunThreads(hotProgram(4), Config{Backend: newNative(t), Engine: Engine(99)}, [][]byte{nil}, 4)
+		if err == nil || !strings.Contains(err.Error(), "unknown engine") {
+			t.Errorf("RunThreads engine 99: err = %v, want unknown-engine error", err)
+		}
+	})
+}

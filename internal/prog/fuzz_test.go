@@ -76,31 +76,53 @@ func FuzzVMvsTree(f *testing.F) {
 		if err != nil {
 			t.Fatalf("NewVM: %v", err)
 		}
+		// Tier-up threshold 1: the machine runs each input twice below,
+		// once mostly cold and once on closure code, so any fuzz-found
+		// divergence between the tiers also fails here.
+		mcfg := base
+		mcfg.Backend = mkBackend()
+		mcfg.TierUp = 1
+		mach, err := prog.NewMachine(compiled, mcfg)
+		if err != nil {
+			t.Fatalf("NewMachine: %v", err)
+		}
 
 		tr, terr := it.Run(input)
 		vr, verr := vm.Run(input)
-		if (terr != nil) != (verr != nil) {
-			t.Fatalf("engines disagree on error: tree %v vm %v\n--- src ---\n%s", terr, verr, src)
-		}
-		if terr != nil {
-			if terr.Error() != verr.Error() {
-				t.Fatalf("error text diverges:\ntree: %v\nvm:   %v\n--- src ---\n%s", terr, verr, src)
+		check := func(engine string, vr *prog.Result, verr error) {
+			if (terr != nil) != (verr != nil) {
+				t.Fatalf("engines disagree on error: tree %v %s %v\n--- src ---\n%s", terr, engine, verr, src)
 			}
-			return
+			if terr != nil {
+				if terr.Error() != verr.Error() {
+					t.Fatalf("error text diverges:\ntree: %v\n%s:   %v\n--- src ---\n%s", terr, engine, verr, src)
+				}
+				return
+			}
+			if !bytes.Equal(tr.Output, vr.Output) {
+				t.Fatalf("output diverges:\ntree: %x\n%s:   %x\n--- src ---\n%s", tr.Output, engine, vr.Output, src)
+			}
+			if (tr.Fault != nil) != (vr.Fault != nil) ||
+				(tr.Fault != nil && tr.Fault.Error() != vr.Fault.Error()) {
+				t.Fatalf("fault diverges:\ntree: %v\n%s:   %v\n--- src ---\n%s", tr.Fault, engine, vr.Fault, src)
+			}
+			if tr.Steps != vr.Steps || tr.Cycles != vr.Cycles || tr.InterpCycles != vr.InterpCycles ||
+				tr.Allocs != vr.Allocs || tr.Frees != vr.Frees || tr.AllocsByFn != vr.AllocsByFn {
+				t.Fatalf("statistics diverge:\ntree: %+v\n%s:   %+v\n--- src ---\n%s", tr, engine, vr, src)
+			}
+			if !bytes.Equal(tr.Returned.Bytes, vr.Returned.Bytes) {
+				t.Fatalf("returned value diverges on %s\n--- src ---\n%s", engine, src)
+			}
 		}
-		if !bytes.Equal(tr.Output, vr.Output) {
-			t.Fatalf("output diverges:\ntree: %x\nvm:   %x\n--- src ---\n%s", tr.Output, vr.Output, src)
-		}
-		if (tr.Fault != nil) != (vr.Fault != nil) ||
-			(tr.Fault != nil && tr.Fault.Error() != vr.Fault.Error()) {
-			t.Fatalf("fault diverges:\ntree: %v\nvm:   %v\n--- src ---\n%s", tr.Fault, vr.Fault, src)
-		}
-		if tr.Steps != vr.Steps || tr.Cycles != vr.Cycles || tr.InterpCycles != vr.InterpCycles ||
-			tr.Allocs != vr.Allocs || tr.Frees != vr.Frees || tr.AllocsByFn != vr.AllocsByFn {
-			t.Fatalf("statistics diverge:\ntree: %+v\nvm:   %+v\n--- src ---\n%s", tr, vr, src)
-		}
-		if !bytes.Equal(tr.Returned.Bytes, vr.Returned.Bytes) {
-			t.Fatalf("returned value diverges\n--- src ---\n%s", src)
-		}
+		check("vm", vr, verr)
+		// Round 1: mostly cold tier.
+		mr, merr := mach.Run(input)
+		check("compiled", mr, merr)
+		// Round 2: replay the input on both engines' (identically
+		// evolved) heaps; with threshold 1 the machine now executes
+		// promoted closure code for every function it reached.
+		tr, terr = it.Run(input)
+		mr, merr = mach.Run(input)
+		check("compiled", mr, merr)
 	})
 }

@@ -21,11 +21,22 @@ type Config struct {
 	MaxSteps uint64
 	// MaxDepth bounds call recursion (0 = DefaultMaxDepth).
 	MaxDepth int
-	// Engine selects the execution substrate (tree-walker or bytecode
-	// VM) for engine-generic constructors (NewExec, RunThreads). New
-	// ignores it (always the tree-walker), NewVM requires consistency
-	// with its Compiled program.
+	// Engine selects the execution substrate (tree-walker, bytecode
+	// VM, or tier-up compiled engine) for engine-generic constructors
+	// (NewExec, RunThreads). New ignores it (always the tree-walker),
+	// NewVM/NewMachine require consistency with their Compiled
+	// program.
 	Engine Engine
+	// TierUp is the compiled engine's promotion threshold: how many
+	// times a function executes on the cold bytecode tier before it
+	// is compiled to closures (0 = DefaultTierUp). Only
+	// EngineCompiled reads it.
+	TierUp uint64
+	// Closures optionally shares closure-compiled code across
+	// Machines executing the same Compiled program (fleet workers,
+	// RunThreads groups). Must have been built for that Compiled.
+	// Only EngineCompiled reads it.
+	Closures *ClosureCache
 }
 
 // Interpreter limits.

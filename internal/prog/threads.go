@@ -43,9 +43,12 @@ func RunThreads(p *Program, cfg Config, inputs [][]byte, quantum uint64) ([]*Res
 
 	// Construct every executor before spawning any goroutine: if a
 	// construction fails mid-loop, no thread goroutine exists yet to be
-	// left blocked on a grant that will never come. Under EngineVM the
-	// program is compiled once and the immutable Compiled is shared by
-	// all threads (each VM holds only its own mutable state).
+	// left blocked on a grant that will never come. Under EngineVM and
+	// EngineCompiled the program is compiled once and the immutable
+	// Compiled is shared by all threads (each VM/Machine holds only its
+	// own mutable state); compiled-engine threads additionally share
+	// one ClosureCache, so a function promoted by one thread is
+	// already compiled for the others.
 	var compiled *Compiled
 	newRunner := func() (runner, error) {
 		switch cfg.Engine {
@@ -59,6 +62,15 @@ func RunThreads(p *Program, cfg Config, inputs [][]byte, quantum uint64) ([]*Res
 				}
 			}
 			return NewVM(compiled, cfg)
+		case EngineCompiled:
+			if compiled == nil {
+				var err error
+				if compiled, err = Compile(p, cfg.Coder); err != nil {
+					return nil, err
+				}
+				cfg.Closures = NewClosureCache(compiled)
+			}
+			return NewMachine(compiled, cfg)
 		default:
 			return nil, fmt.Errorf("prog: unknown engine %v", cfg.Engine)
 		}

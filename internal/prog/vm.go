@@ -43,9 +43,18 @@ import (
 // flag, and spare shadow-plane capacity kept across scalar writes
 // (setScalar nils val.Valid/val.Origin, so their buffers are parked
 // here for the next shadowed write to reuse).
+//
+// u/uok are the compiled tier's unboxed-scalar cache: when uok is
+// set, the register's authoritative content is the shadow-free 8-byte
+// scalar u, and val is stale. Only Machine closure code sets uok
+// (reg.setU); every byte-level write clears it, and every reader that
+// hands out *Value (rd, Machine.fetch) materializes first, so the VM
+// and the cold tier observe bit-identical Values.
 type reg struct {
 	val       Value
 	def       bool
+	u         uint64
+	uok       bool
 	validCap  []byte
 	originCap []uint32
 }
@@ -62,7 +71,23 @@ func (r *reg) setScalar(v uint64) {
 	r.val.Bytes = b
 	r.val.Valid = nil
 	r.val.Origin = nil
+	r.uok = false
 	r.def = true
+}
+
+// setU caches a shadow-free 8-byte scalar without materializing its
+// byte representation. Compiled-tier scalar flow stays in uint64s;
+// rd/fetch materialize on the first byte-level read.
+func (r *reg) setU(v uint64) {
+	r.u = v
+	r.uok = true
+	r.def = true
+}
+
+// materialize writes the cached scalar through to val, restoring the
+// invariant that val is authoritative (setScalar clears uok).
+func (r *reg) materialize() {
+	r.setScalar(r.u)
 }
 
 // set deep-copies src into the register. Safe when src aliases the
@@ -99,6 +124,7 @@ func (r *reg) set(src *Value) {
 	} else {
 		r.val.Origin = nil
 	}
+	r.uok = false
 	r.def = true
 }
 
@@ -363,6 +389,9 @@ func (vm *VM) rd(f *frameV, o int32) (*Value, error) {
 		if !r.def {
 			return nil, vm.rdUndef(f, o)
 		}
+		if r.uok {
+			r.materialize()
+		}
 		return &r.val, nil
 	}
 	return &vm.c.consts[^o], nil
@@ -435,6 +464,7 @@ func (vm *VM) loadIntoReg(r *reg, addr, n uint64) error {
 	if err != nil {
 		return err
 	}
+	r.uok = false
 	r.def = true
 	return nil
 }
@@ -700,6 +730,7 @@ func (vm *VM) exec(res *Result) error {
 					return vm.crash(lerr)
 				}
 				r.val = v
+				r.uok = false
 				r.def = true
 			}
 
@@ -810,6 +841,7 @@ func (vm *VM) exec(res *Result) error {
 			vm.inPos += take
 			r.val.Valid = nil
 			r.val.Origin = nil
+			r.uok = false
 			r.def = true
 
 		case opOutput:

@@ -93,11 +93,14 @@ func newDefense(t *testing.T, patches *patch.Set) *defense.Backend {
 	return b
 }
 
-// TestVMDifferentialShadow: under the analysis backend both engines
-// must record the exact same warning stream (type, addresses, access
-// and allocation CCIDs, detail text) for every corpus case, on benign
-// and attack inputs alike. The shadow backend observes CheckUse, so
-// this also proves the VM does not elide use checks for it.
+// TestVMDifferentialShadow: under the analysis backend all three
+// engines must record the exact same warning stream (type, addresses,
+// access and allocation CCIDs, detail text) for every corpus case, on
+// benign and attack inputs alike. The shadow backend observes
+// CheckUse, so this also proves neither the VM nor the compiled tier
+// elides use checks for it. The tier-up machine runs with a threshold
+// of 2, so functions promote in the middle of the input sequence and
+// later inputs execute closure code.
 func TestVMDifferentialShadow(t *testing.T) {
 	for _, c := range vuln.Named() {
 		t.Run(c.Name, func(t *testing.T) {
@@ -118,17 +121,29 @@ func TestVMDifferentialShadow(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			for i, in := range inputs {
+			mb := newShadow(t)
+			m, err := prog.NewMachine(compiled, prog.Config{Backend: mb, Coder: coder, TierUp: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, in := range inputs {
 				tr, terr := it.Run(in)
 				vr, verr := vm.Run(in)
 				sameRun(t, c.Name, tr, vr, terr, verr)
-				_ = i
+				mr, merr := m.Run(in)
+				sameRun(t, c.Name+"/compiled", tr, mr, terr, merr)
 			}
 			if tw, vw := tb.Warnings(), vb.Warnings(); !reflect.DeepEqual(tw, vw) {
 				t.Errorf("warning streams diverge\ntree: %v\nvm:   %v", tw, vw)
 			}
+			if tw, mw := tb.Warnings(), mb.Warnings(); !reflect.DeepEqual(tw, mw) {
+				t.Errorf("warning streams diverge\ntree:     %v\ncompiled: %v", tw, mw)
+			}
 			if tc, vc := tb.Cycles(), vb.Cycles(); tc != vc {
 				t.Errorf("shadow cycles: tree %d vm %d", tc, vc)
+			}
+			if tc, mc := tb.Cycles(), mb.Cycles(); tc != mc {
+				t.Errorf("shadow cycles: tree %d compiled %d", tc, mc)
 			}
 		})
 	}
@@ -178,30 +193,52 @@ func TestVMDifferentialDefense(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			mbk := newDefense(t, patches)
+			m, err := prog.NewMachine(compiled, prog.Config{Backend: mbk, Coder: coder, TierUp: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
 			for _, in := range inputs {
 				tr, terr := tit.Run(in)
 				vr, verr := vm.Run(in)
 				sameRun(t, c.Name, tr, vr, terr, verr)
+				mr, merr := m.Run(in)
+				sameRun(t, c.Name+"/compiled", tr, mr, terr, merr)
 			}
 			ts, vs := tb.Defender().Stats(), vb.Defender().Stats()
 			if ts != vs {
 				t.Errorf("defense stats diverge\ntree: %+v\nvm:   %+v", ts, vs)
 			}
+			if ms := mbk.Defender().Stats(); ts != ms {
+				t.Errorf("defense stats diverge\ntree:     %+v\ncompiled: %+v", ts, ms)
+			}
 			if tc, vc := tb.Cycles(), vb.Cycles(); tc != vc {
 				t.Errorf("defense cycles: tree %d vm %d", tc, vc)
+			}
+			if tc, mc := tb.Cycles(), mbk.Cycles(); tc != mc {
+				t.Errorf("defense cycles: tree %d compiled %d", tc, mc)
 			}
 			if ts.PatchedAllocs > 0 {
 				sawPatched = true
 			}
 
 			// The VM's verdict inline caches must agree with the
-			// defender's own alloc-time classification.
+			// defender's own alloc-time classification — and so must
+			// the compiled tier's, which shares the cache storage but
+			// bakes the lookup into closures.
 			var icPatched uint64
 			for _, s := range vm.SiteProfile() {
 				icPatched += s.PatchedAllocs
 			}
 			if icPatched != vs.PatchedAllocs {
 				t.Errorf("inline-cache patched count %d != defender PatchedAllocs %d", icPatched, vs.PatchedAllocs)
+			}
+			var mcPatched uint64
+			for _, s := range m.SiteProfile() {
+				mcPatched += s.PatchedAllocs
+			}
+			if want := mbk.Defender().Stats().PatchedAllocs; mcPatched != want {
+				t.Errorf("compiled inline-cache patched count %d != defender PatchedAllocs %d", mcPatched, want)
 			}
 		})
 	}

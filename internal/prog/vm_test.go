@@ -91,10 +91,13 @@ func assertSameRun(t *testing.T, label string, tr, vr *Result, terr, verr error)
 	}
 }
 
-// diffEngines runs the same input sequence through both engines — each
-// over its own backend from mk, so heap state evolves independently
-// but identically — and requires bit-identical observables, including
-// the backends' total cycle accounts after every request.
+// diffEngines runs the same input sequence through all three engines —
+// each over its own backend from mk, so heap state evolves
+// independently but identically — and requires bit-identical
+// observables, including the backends' total cycle accounts after
+// every request. The tier-up Machine runs with threshold 1, so every
+// function crosses from the cold tier to closure code mid-corpus and
+// both tiers are differentially covered in one sweep.
 func diffEngines(t *testing.T, p *Program, coder *encoding.Coder, cfg Config, mk func(t *testing.T) HeapBackend, inputs [][]byte) {
 	t.Helper()
 	cfg.Coder = coder
@@ -117,13 +120,27 @@ func diffEngines(t *testing.T, p *Program, coder *encoding.Coder, cfg Config, mk
 		t.Fatal(err)
 	}
 
+	mcfg := cfg
+	mcfg.Backend = mk(t)
+	mcfg.TierUp = 1
+	mach, err := NewMachine(c, mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
 	for i, in := range inputs {
 		tr, terr := it.Run(in)
 		vr, verr := vm.Run(in)
-		assertSameRun(t, strings.TrimSpace(p.Name)+"#"+string(rune('0'+i)), tr, vr, terr, verr)
-		if tc, vc := tcfg.Backend.Cycles(), vcfg.Backend.Cycles(); tc != vc {
-			t.Errorf("%s#%d: backend cycles diverge: tree %d vm %d", p.Name, i, tc, vc)
+		mr, merr := mach.Run(in)
+		label := strings.TrimSpace(p.Name) + "#" + string(rune('0'+i))
+		assertSameRun(t, label, tr, vr, terr, verr)
+		assertSameRun(t, label+"/compiled", tr, mr, terr, merr)
+		if tc, vc, mc := tcfg.Backend.Cycles(), vcfg.Backend.Cycles(), mcfg.Backend.Cycles(); tc != vc || tc != mc {
+			t.Errorf("%s#%d: backend cycles diverge: tree %d vm %d compiled %d", p.Name, i, tc, vc, mc)
 		}
+	}
+	if len(inputs) > 1 && mach.Promotions() == 0 {
+		t.Errorf("%s: machine never tiered up over %d inputs (threshold 1)", p.Name, len(inputs))
 	}
 }
 
@@ -319,18 +336,21 @@ func TestVMDifferentialEncoded(t *testing.T) {
 					return rb
 				}
 				diffEngines(t, p, coder, Config{}, mk, [][]byte{{3}, {0}, {7}})
-				if len(recs) != 2 {
-					t.Fatalf("expected 2 backends, got %d", len(recs))
+				if len(recs) != 3 {
+					t.Fatalf("expected 3 backends, got %d", len(recs))
 				}
-				tree, vm := recs[0], recs[1]
-				if len(tree.ccids) != len(vm.ccids) {
-					t.Fatalf("%s %v/%v: ccid stream lengths differ: %d vs %d",
-						p.Name, scheme, kind, len(tree.ccids), len(vm.ccids))
-				}
-				for i := range tree.ccids {
-					if tree.ccids[i] != vm.ccids[i] {
-						t.Errorf("%s %v/%v: ccid[%d]: tree %#x vm %#x",
-							p.Name, scheme, kind, i, tree.ccids[i], vm.ccids[i])
+				tree := recs[0]
+				for ei, eng := range recs[1:] {
+					name := []string{"vm", "compiled"}[ei]
+					if len(tree.ccids) != len(eng.ccids) {
+						t.Fatalf("%s %v/%v: ccid stream lengths differ: tree %d %s %d",
+							p.Name, scheme, kind, len(tree.ccids), name, len(eng.ccids))
+					}
+					for i := range tree.ccids {
+						if tree.ccids[i] != eng.ccids[i] {
+							t.Errorf("%s %v/%v: ccid[%d]: tree %#x %s %#x",
+								p.Name, scheme, kind, i, tree.ccids[i], name, eng.ccids[i])
+						}
 					}
 				}
 			}
@@ -390,7 +410,10 @@ func TestVMErrorsMatchTree(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			diffEngines(t, tc.p, nil, tc.cfg, newNative, [][]byte{nil})
+			// Two identical runs: with the Machine's threshold of 1, the
+			// first hits each error on the cold tier and the second on
+			// closure code, so both tiers must reproduce the exact text.
+			diffEngines(t, tc.p, nil, tc.cfg, newNative, [][]byte{nil, nil})
 		})
 	}
 }
@@ -414,7 +437,10 @@ func TestVMDifferentialThreads(t *testing.T) {
 
 	run := func(engine Engine) ([]*Result, uint64) {
 		backend := newNative(t)
-		res, err := RunThreads(p, Config{Backend: backend, Coder: coder, Engine: engine}, inputs, 16)
+		// TierUp 1 makes compiled-engine threads promote functions while
+		// sibling threads are mid-quantum on the cold tier, over one
+		// shared ClosureCache (see RunThreads).
+		res, err := RunThreads(p, Config{Backend: backend, Coder: coder, Engine: engine, TierUp: 1}, inputs, 16)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -422,11 +448,13 @@ func TestVMDifferentialThreads(t *testing.T) {
 	}
 	tres, tcyc := run(EngineTree)
 	vres, vcyc := run(EngineVM)
+	mres, mcyc := run(EngineCompiled)
 	for i := range tres {
 		assertSameRun(t, "thread", tres[i], vres[i], nil, nil)
+		assertSameRun(t, "thread/compiled", tres[i], mres[i], nil, nil)
 	}
-	if tcyc != vcyc {
-		t.Errorf("shared backend cycles: tree %d vm %d", tcyc, vcyc)
+	if tcyc != vcyc || tcyc != mcyc {
+		t.Errorf("shared backend cycles: tree %d vm %d compiled %d", tcyc, vcyc, mcyc)
 	}
 }
 
@@ -629,8 +657,10 @@ func TestParseEngine(t *testing.T) {
 			t.Errorf("ParseEngine(%q) = %v, %v", e.String(), got, err)
 		}
 	}
+	// The CLIs forward this error verbatim as their usage message, so
+	// it must list every valid spelling.
 	_, err := ParseEngine("jit")
-	if err == nil || !strings.Contains(err.Error(), "valid: tree, vm") {
+	if err == nil || !strings.Contains(err.Error(), "valid: tree, vm, compiled") {
 		t.Errorf("ParseEngine(jit) err = %v, want valid-name list", err)
 	}
 }
