@@ -11,7 +11,7 @@ RACE_PKGS := ./internal/defense/ ./internal/prog/ ./internal/fleet/ ./internal/c
 COVER_GATE_PKGS := ./internal/heapsim/ ./internal/campaign/ ./internal/defense/ ./internal/shadow/ ./internal/mem/ ./internal/telemetry/
 COVER_MIN := 80
 
-.PHONY: all build test race vet fmt-check bench bench-json bench-fleet bench-vm bench-compiled bench-encoding bench-smoke bench-telemetry check cover corpus fuzz-smoke
+.PHONY: all build test race vet fmt-check bench bench-json bench-campaign bench-campaign-json bench-fleet bench-vm bench-compiled bench-encoding bench-smoke bench-telemetry check cover corpus fuzz-smoke
 
 all: check
 
@@ -74,6 +74,19 @@ bench-encoding:
 		./internal/encoding/ ./internal/prog/ | grep -E '^(--- (PASS|FAIL)|ok|FAIL)'
 	$(GO) test -run '^$$' -bench 'BenchmarkEncodingPlan|BenchmarkCoderUpdate|BenchmarkEncodedCall' -benchmem \
 		-benchtime $(BENCHTIME) ./internal/encoding/ ./internal/prog/
+
+# Campaign runtime pins and throughput: the pooled-vs-fresh oracle
+# bit-identity and parallel-vs-sequential report-parity differentials,
+# the recycle allocation pins, then the seeds/sec scaling table at
+# 1/2/4/8 workers against the fresh-construction sequential baseline
+# (record with: make bench-campaign-json >> BENCH_$(shell date +%F).json).
+bench-campaign:
+	$(GO) test -run 'WorkbenchBitIdentical|ParallelMatchesSequential|GuidedMatchesUnguided|PooledSetupAllocs|BackendResetDifferential|ResetPatchesMatchesFresh|CollectorReset' -count 1 -v \
+		./internal/campaign/ ./internal/shadow/ ./internal/defense/ ./internal/telemetry/ | grep -E '^(--- (PASS|FAIL)|ok|FAIL)'
+	$(GO) run ./cmd/htp-bench -exp campaign
+
+bench-campaign-json:
+	$(GO) run ./cmd/htp-bench -exp campaign -json
 
 # Telemetry overhead pins: the disabled hot path must be 0 allocs/op
 # (AllocsPerRun tests in defense/mem/telemetry) and the fleet-level

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	htp-bench [-exp all|encoding|table2|table3|table4|fig8|fig9|services|ablation|guard|fleet|telemetry|vm|tierup] [-quick] [-scale N] [-engine tree|vm|compiled] [-tierup N]
+//	htp-bench [-exp all|encoding|table2|table3|table4|fig8|fig9|services|ablation|guard|fleet|campaign|telemetry|vm|tierup] [-quick] [-scale N] [-engine tree|vm|compiled] [-tierup N]
 package main
 
 import (
@@ -29,7 +29,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("htp-bench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to run: all, encoding, table2, table3, table4, fig8, fig9, services, concurrent, ablation, stackoffset, scaling, guard, fleet, telemetry, vm, tierup")
+	exp := fs.String("exp", "all", "experiment to run: all, encoding, table2, table3, table4, fig8, fig9, services, concurrent, ablation, stackoffset, scaling, guard, fleet, campaign, telemetry, vm, tierup")
 	quick := fs.Bool("quick", false, "trim sweeps for a fast run")
 	scale := fs.Uint64("scale", 0, "divisor for Table IV allocation counts (default 10000)")
 	jsonOut := fs.Bool("json", false, "emit per-experiment wall time and allocations as JSON instead of rendered tables")
@@ -53,6 +53,7 @@ func run(args []string) error {
 	// time.
 	var vmResult *experiments.VMComparisonResult
 	var tierUpResult *experiments.TierUpComparisonResult
+	var campaignResult *experiments.CampaignThroughputResult
 	wrap := func(f func(experiments.Config) (interface{ Render() string }, error)) func() (fmt.Stringer, error) {
 		return func() (fmt.Stringer, error) {
 			r, err := f(cfg)
@@ -102,6 +103,13 @@ func run(args []string) error {
 		})},
 		{"telemetry", wrap(func(c experiments.Config) (interface{ Render() string }, error) {
 			return experiments.TelemetryOverhead(c)
+		})},
+		{"campaign", wrap(func(c experiments.Config) (interface{ Render() string }, error) {
+			r, err := experiments.CampaignThroughput(c)
+			if err == nil {
+				campaignResult = r
+			}
+			return r, err
 		})},
 		{"vm", wrap(func(c experiments.Config) (interface{ Render() string }, error) {
 			r, err := experiments.VMComparison(c)
@@ -167,6 +175,19 @@ func run(args []string) error {
 					"geomean_vs_tree":        tierUpResult.GeomeanVsTree,
 					"tierup_threshold":       float64(tierUpResult.Threshold),
 					"steady_state_allocs_op": tierUpResult.SteadyStateAllocs,
+				}
+			}
+			if r.name == "campaign" && campaignResult != nil {
+				best := 0.0
+				for _, row := range campaignResult.Rows {
+					if row.SeedsPerSec > best {
+						best = row.SeedsPerSec
+					}
+				}
+				br.Detail = map[string]float64{
+					"sequential_seeds_per_sec": campaignResult.SequentialSeedsPerSec,
+					"best_seeds_per_sec":       best,
+					"speedup":                  best / campaignResult.SequentialSeedsPerSec,
 				}
 			}
 			results = append(results, br)

@@ -1,14 +1,22 @@
 // Command htp-fuzz runs the generative campaign: seeded random
 // programs with injected heap vulnerabilities, each driven through
-// the full differential matrix (tree-walker vs VM engine, boundary-
-// tag heap vs pool allocator, native vs shadow-analyzed vs defended)
-// with the heap-invariant walker attached, and every cell checked
-// against the injected ground truth.
+// the full differential matrix (tree-walker vs VM vs tier-up engine,
+// boundary-tag heap vs pool allocator, native vs shadow-analyzed vs
+// defended) with the heap-invariant walker attached, and every cell
+// checked against the injected ground truth.
+//
+// Seeds run on the sharded parallel runtime: N workers, each owning a
+// pooled oracle workbench, steal contiguous seed shards and merge
+// their verdicts deterministically — the report is identical at any
+// worker count (modulo timing fields).
 //
 //	htp-fuzz -seeds 1000                    # campaign over seeds 0..999
+//	htp-fuzz -seeds 100000 -workers 8       # sharded across 8 workbenches
+//	htp-fuzz -guided                        # bias scheduling toward failing kinds
 //	htp-fuzz -start 5000 -seeds 100 -json   # JSON report on stdout
 //	htp-fuzz -kinds uaf-read,double-free    # restrict vulnerability kinds
 //	htp-fuzz -reduce                        # minimize any failing program
+//	htp-fuzz -forensics out/                # write per-seed forensic bundles
 //	htp-fuzz -emit-corpus testdata/campaign -seeds 20
 package main
 
@@ -22,38 +30,38 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
-	"time"
+	"sync"
 
 	"heaptherapy/internal/campaign"
 	"heaptherapy/internal/prog"
-	"heaptherapy/internal/progtext"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// report is the machine-readable campaign summary.
+// report is the machine-readable campaign summary: the merged run
+// report plus the matrix configuration it ran under.
 type report struct {
-	Start    uint64             `json:"start"`
-	Seeds    uint64             `json:"seeds"`
-	Kinds    []string           `json:"kinds"`
-	Engines  []string           `json:"engines"`
-	Allocs   []string           `json:"allocators"`
-	Cases    int                `json:"cases"`
-	ByKind   map[string]int     `json:"by_kind"`
-	Failed   int                `json:"failed"`
-	Failures []campaign.Failure `json:"failures,omitempty"`
-	Reduced  []reducedCase      `json:"reduced,omitempty"`
-	Ms       int64              `json:"duration_ms"`
-}
+	Start     uint64   `json:"start"`
+	Seeds     uint64   `json:"seeds"`
+	Workers   int      `json:"workers"`
+	ShardSize int      `json:"shard_size"`
+	Guided    bool     `json:"guided"`
+	Kinds     []string `json:"kinds"`
+	Engines   []string `json:"engines"`
+	Allocs    []string `json:"allocators"`
 
-type reducedCase struct {
-	Seed       uint64 `json:"seed"`
-	Kind       string `json:"kind"`
-	Class      string `json:"class"`
-	Statements int    `json:"statements"`
-	Source     string `json:"source"`
+	Cases    int                    `json:"cases"`
+	ByKind   map[string]int         `json:"by_kind"`
+	Failed   int                    `json:"failed"`
+	Failures []campaign.Failure     `json:"failures,omitempty"`
+	Reduced  []campaign.ReducedCase `json:"reduced,omitempty"`
+	Stopped  bool                   `json:"stopped,omitempty"`
+
+	Ms          int64                 `json:"duration_ms"`
+	SeedsPerSec float64               `json:"seeds_per_sec"`
+	PerWorker   []campaign.WorkerStat `json:"per_worker"`
 }
 
 // manifestEntry describes one emitted corpus case.
@@ -76,8 +84,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		kindsFlag  = fs.String("kinds", "", "comma-separated vulnerability kinds (default: all)")
 		engines    = fs.String("engines", "", "comma-separated engines: tree,vm,compiled (default: all)")
 		allocs     = fs.String("allocators", "", "comma-separated allocators: heap,pool (default: all)")
+		workers    = fs.Int("workers", 0, "parallel oracle workbenches (0 = GOMAXPROCS)")
+		shardSize  = fs.Int("shard-size", 0, "seeds per work-stealing shard (0 = auto)")
+		guided     = fs.Bool("guided", false, "bias shard scheduling toward vulnerability kinds that produced failures")
 		jsonOut    = fs.Bool("json", false, "emit a JSON report on stdout")
 		reduce     = fs.Bool("reduce", false, "minimize each failing program and include it in the report")
+		forensics  = fs.String("forensics", "", "write a replayable bundle-<seed>.json per failing seed into this directory")
 		emitCorpus = fs.String("emit-corpus", "", "write generated programs and a manifest into this directory instead of running the oracle")
 		maxFail    = fs.Int("max-failures", 20, "stop after this many failing seeds (0 = never)")
 		verbose    = fs.Bool("v", false, "log each seed")
@@ -131,43 +143,67 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	began := time.Now()
-	rep := &report{Start: *start, Seeds: *seeds, ByKind: map[string]int{}}
+	rc := campaign.RunConfig{
+		Start:           *start,
+		Seeds:           *seeds,
+		Gen:             cfg,
+		Oracle:          oracle,
+		Workers:         *workers,
+		ShardSize:       *shardSize,
+		MaxFailingSeeds: *maxFail,
+		Guided:          *guided,
+		Reduce:          *reduce,
+	}
+	if *verbose {
+		// Workers log concurrently; the mutex keeps lines whole (their
+		// interleaving across shards is inherently scheduling-order).
+		var mu sync.Mutex
+		rc.OnSeed = func(seed uint64, kind campaign.VulnKind, rep *campaign.Report) {
+			status := "ok"
+			if !rep.OK() {
+				status = fmt.Sprintf("FAIL (%d)", len(rep.Failures))
+			}
+			mu.Lock()
+			fmt.Fprintf(stderr, "seed %d %v: %s\n", seed, kind, status)
+			mu.Unlock()
+		}
+	}
+
+	res, err := campaign.Run(rc)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if res.Stopped {
+		fmt.Fprintf(stderr, "stopping after %d failing seeds\n", res.FailingSeeds)
+	}
+	if *forensics != "" && len(res.Bundles) > 0 {
+		if err := writeBundles(*forensics, res.Bundles); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "wrote %d forensic bundles to %s\n", len(res.Bundles), *forensics)
+	}
+
+	rep := &report{
+		Start:       res.Start,
+		Seeds:       res.Seeds,
+		Workers:     res.Workers,
+		ShardSize:   res.ShardSize,
+		Guided:      res.Guided,
+		Cases:       res.Cases,
+		ByKind:      res.ByKind,
+		Failed:      res.FailingSeeds,
+		Failures:    res.Failures,
+		Reduced:     res.Reduced,
+		Stopped:     res.Stopped,
+		Ms:          res.ElapsedMs,
+		SeedsPerSec: res.SeedsPerSec,
+		PerWorker:   res.WorkerStats,
+	}
 	for _, k := range cfg.Kinds {
 		rep.Kinds = append(rep.Kinds, k.String())
 	}
-	failedSeeds := 0
-	for seed := *start; seed < *start+*seeds; seed++ {
-		g, err := campaign.Generate(seed, cfg)
-		if err != nil {
-			fmt.Fprintf(stderr, "seed %d: %v\n", seed, err)
-			return 1
-		}
-		res := oracle.Check(g)
-		rep.Cases++
-		rep.ByKind[g.Kind.String()]++
-		if *verbose {
-			status := "ok"
-			if !res.OK() {
-				status = fmt.Sprintf("FAIL (%d)", len(res.Failures))
-			}
-			fmt.Fprintf(stderr, "seed %d %v: %s\n", seed, g.Kind, status)
-		}
-		if res.OK() {
-			continue
-		}
-		failedSeeds++
-		rep.Failed++
-		rep.Failures = append(rep.Failures, res.Failures...)
-		if *reduce {
-			rep.Reduced = append(rep.Reduced, minimize(g, oracle, res))
-		}
-		if *maxFail > 0 && failedSeeds >= *maxFail {
-			fmt.Fprintf(stderr, "stopping after %d failing seeds\n", failedSeeds)
-			break
-		}
-	}
-	rep.Ms = time.Since(began).Milliseconds()
 	for _, e := range oracleEngines(oracle) {
 		rep.Engines = append(rep.Engines, e.String())
 	}
@@ -205,34 +241,13 @@ func oracleAllocs(o campaign.Oracle) []campaign.AllocKind {
 	return campaign.AllAllocators()
 }
 
-// minimize shrinks a failing case while its oracle verdict keeps the
-// same leading failure class, and packages the witness.
-func minimize(g *campaign.Generated, oracle campaign.Oracle, res *campaign.Report) reducedCase {
-	class := res.Failures[0].Class
-	stillFails := func(p *prog.Program) bool {
-		cand := *g
-		cand.Program = p
-		r := oracle.Check(&cand)
-		for _, f := range r.Failures {
-			if f.Class == class {
-				return true
-			}
-		}
-		return false
-	}
-	reduced := campaign.Reduce(g.Program, stillFails, 0)
-	return reducedCase{
-		Seed:       g.Seed,
-		Kind:       g.Kind.String(),
-		Class:      class,
-		Statements: campaign.CountStatements(reduced),
-		Source:     progtext.Print(reduced),
-	}
-}
-
 func summarize(w io.Writer, rep *report) {
-	fmt.Fprintf(w, "htp-fuzz: %d cases (seeds %d..%d) in %dms\n",
-		rep.Cases, rep.Start, rep.Start+rep.Seeds-1, rep.Ms)
+	fmt.Fprintf(w, "htp-fuzz: %d cases (seeds %d..%d) in %dms — %.1f seeds/sec, %d workers (shard %d",
+		rep.Cases, rep.Start, rep.Start+rep.Seeds-1, rep.Ms, rep.SeedsPerSec, rep.Workers, rep.ShardSize)
+	if rep.Guided {
+		fmt.Fprint(w, ", guided")
+	}
+	fmt.Fprintln(w, ")")
 	kinds := make([]string, 0, len(rep.ByKind))
 	for k := range rep.ByKind {
 		kinds = append(kinds, k)
@@ -240,6 +255,10 @@ func summarize(w io.Writer, rep *report) {
 	sort.Strings(kinds)
 	for _, k := range kinds {
 		fmt.Fprintf(w, "  %-16s %d\n", k, rep.ByKind[k])
+	}
+	for _, st := range rep.PerWorker {
+		fmt.Fprintf(w, "  worker %d: %d seeds over %d shards, busy %dms\n",
+			st.Worker, st.Seeds, st.Shards, st.BusyMs)
 	}
 	if rep.Failed == 0 {
 		fmt.Fprintf(w, "all %d cases passed the differential oracle\n", rep.Cases)
@@ -253,6 +272,25 @@ func summarize(w io.Writer, rep *report) {
 		fmt.Fprintf(w, "reduced witness for seed %d (%s, %d statements):\n%s\n",
 			r.Seed, r.Class, r.Statements, r.Source)
 	}
+}
+
+// writeBundles dumps each failing seed's replayable forensic bundle as
+// bundle-<seed>.json.
+func writeBundles(dir string, bundles []*campaign.Bundle) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, b := range bundles {
+		data, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("bundle-%d.json", b.Seed)
+		if err := os.WriteFile(filepath.Join(dir, name), append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // emit writes seed-<n>.htp sources plus inputs and ground truth into

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -40,6 +41,59 @@ func TestRunJSONReport(t *testing.T) {
 	}
 	if len(rep.Engines) == 0 || len(rep.Allocs) == 0 {
 		t.Fatalf("matrix axes missing from report: %+v", rep)
+	}
+	if rep.SeedsPerSec <= 0 {
+		t.Errorf("seeds_per_sec missing: %+v", rep)
+	}
+	if rep.Workers < 1 || len(rep.PerWorker) != rep.Workers {
+		t.Errorf("per-worker breakdown missing: workers=%d per_worker=%v", rep.Workers, rep.PerWorker)
+	}
+}
+
+// TestRunParallelParity pins the CLI-level determinism contract: the
+// same campaign at different worker counts (and with guidance on)
+// produces identical JSON reports once timing and per-worker fields
+// are zeroed.
+func TestRunParallelParity(t *testing.T) {
+	parse := func(args ...string) report {
+		code, stdout, stderr := runCLI(t, args...)
+		if code != 0 {
+			t.Fatalf("args %v: exit %d, stderr: %s", args, code, stderr)
+		}
+		var rep report
+		if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+			t.Fatalf("bad JSON: %v\n%s", err, stdout)
+		}
+		// Timing and scheduling fields are the documented exceptions.
+		rep.Workers = 0
+		rep.ShardSize = 0
+		rep.Guided = false
+		rep.Ms = 0
+		rep.SeedsPerSec = 0
+		rep.PerWorker = nil
+		return rep
+	}
+	seq := parse("-seeds", "8", "-json", "-workers", "1", "-shard-size", "2")
+	par := parse("-seeds", "8", "-json", "-workers", "4", "-shard-size", "2")
+	gui := parse("-seeds", "8", "-json", "-workers", "4", "-shard-size", "2", "-guided")
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("parallel report diverges:\n seq: %+v\n par: %+v", seq, par)
+	}
+	if !reflect.DeepEqual(seq, gui) {
+		t.Errorf("guided report diverges:\n seq: %+v\n gui: %+v", seq, gui)
+	}
+}
+
+func TestRunSummaryThroughput(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-seeds", "6", "-workers", "2")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "seeds/sec") {
+		t.Errorf("summary lacks throughput: %s", stdout)
+	}
+	if !strings.Contains(stdout, "worker 0:") || !strings.Contains(stdout, "worker 1:") {
+		t.Errorf("summary lacks per-worker breakdown: %s", stdout)
 	}
 }
 

@@ -88,6 +88,17 @@ func (a *Analyzer) Analyze(p *prog.Program, attackInput []byte) (*Report, error)
 	if err != nil {
 		return nil, fmt.Errorf("analysis: building interpreter: %w", err)
 	}
+	return a.AnalyzeWith(p, attackInput, backend, it)
+}
+
+// AnalyzeWith replays the attack over a caller-prepared shadow backend
+// and executor and distills the warnings into patches — the
+// construction-free seam the campaign's pooled workbench drives. The
+// backend must be freshly constructed or Reset, and it must be bound
+// to the backend with this analyzer's coder; under those conditions
+// repeated calls over recycled substrate are bit-identical to
+// Analyze's fresh-construction path.
+func (a *Analyzer) AnalyzeWith(p *prog.Program, attackInput []byte, backend *shadow.Backend, it prog.Exec) (*Report, error) {
 	res, err := it.Run(attackInput)
 	if err != nil {
 		return nil, fmt.Errorf("analysis: replaying attack: %w", err)

@@ -36,6 +36,17 @@ func (c GenConfig) withDefaults() GenConfig {
 	return c
 }
 
+// PlannedKind reports which vulnerability kind Generate will inject
+// for seed under cfg, without building the program. The kind is the
+// generator's first RNG draw, so the answer is exact (not heuristic);
+// the guided scheduler uses this to profile a shard's kind mix at
+// negligible cost before paying for generation.
+func PlannedKind(seed uint64, cfg GenConfig) VulnKind {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(int64(seed)))
+	return cfg.Kinds[rng.Intn(len(cfg.Kinds))]
+}
+
 // Generate builds the campaign case for one seed, deterministically:
 // the same seed and config always yield byte-identical source and
 // inputs. The program is assembled as AST, rendered through the

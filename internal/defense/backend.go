@@ -5,6 +5,7 @@ import (
 
 	"heaptherapy/internal/heapsim"
 	"heaptherapy/internal/mem"
+	"heaptherapy/internal/patch"
 	"heaptherapy/internal/prog"
 )
 
@@ -148,6 +149,13 @@ func (b *Backend) Cycles() uint64 { return b.cycles + b.def.Cycles() }
 func (b *Backend) Reset() error {
 	b.cycles = 0
 	return b.def.Reset()
+}
+
+// ResetPatches recycles the backend for a new execution under a new
+// patch set (see Defender.ResetPatches).
+func (b *Backend) ResetPatches(set *patch.Set) error {
+	b.cycles = 0
+	return b.def.ResetPatches(set)
 }
 
 // NewBackendWithAllocator builds a defended execution backend over a

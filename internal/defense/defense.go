@@ -812,6 +812,23 @@ func (d *Defender) Reset() error {
 	return nil
 }
 
+// ResetPatches is Reset with a patch-set swap: the Defender re-arms
+// over a different configuration, as the campaign's pooled workbench
+// does per seed (each generated case carries its own analysis-derived
+// patches). Because Reset re-materializes the private table from
+// d.cfg.Patches in the same construction order a fresh Defender uses
+// (table pages below the arena), a recycled Defender with swapped
+// patches is bit-identical to one built fresh with them. Only valid on
+// a private table: a shared sealed table is immutable by contract and
+// owned by the fleet that sealed it.
+func (d *Defender) ResetPatches(set *patch.Set) error {
+	if d.cfg.SharedTable != nil {
+		return fmt.Errorf("defense: ResetPatches on a shared sealed table")
+	}
+	d.cfg.Patches = set
+	return d.Reset()
+}
+
 // lg returns floor(log2(x)) for x > 0.
 func lg(x uint64) uint64 {
 	var n uint64

@@ -1,0 +1,86 @@
+package defense
+
+import (
+	"testing"
+
+	"heaptherapy/internal/heapsim"
+	"heaptherapy/internal/mem"
+	"heaptherapy/internal/patch"
+)
+
+// TestResetPatchesMatchesFresh pins the pooled defended cell's
+// recycling contract: a defender Reset under a NEW patch set must be
+// indistinguishable from a fresh defender built with that set — same
+// patched-allocation decisions, same addresses, same stats — because
+// ResetPatches replays the construction order (table mapped first,
+// then the heap arena) inside the rewound space.
+func TestResetPatchesMatchesFresh(t *testing.T) {
+	setA := patches(patch.Patch{Fn: heapsim.FnMalloc, CCID: 0x42, Types: patch.TypeOverflow})
+	setB := patches(patch.Patch{Fn: heapsim.FnMalloc, CCID: 0x99, Types: patch.TypeUninitRead})
+
+	workload := func(d *Defender) ([2]uint64, Stats) {
+		a, err := d.Malloc(0x42, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := d.Malloc(0x99, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Free(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Free(b); err != nil {
+			t.Fatal(err)
+		}
+		return [2]uint64{a, b}, d.Stats()
+	}
+
+	freshB := newDefender(t, Config{Patches: setB})
+	wantAddrs, wantStats := workload(freshB)
+
+	space, err := mem.NewSpace(mem.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(space, Config{Patches: setA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, st := workload(d); st.PatchedAllocs != 1 {
+		t.Fatalf("set A workload: %+v", st)
+	}
+	genA := d.TableGeneration()
+
+	space.Reset()
+	if err := d.ResetPatches(setB); err != nil {
+		t.Fatal(err)
+	}
+	if d.TableGeneration() <= genA {
+		t.Errorf("table generation did not advance: %d -> %d", genA, d.TableGeneration())
+	}
+	if d.ProbePatched(heapsim.FnMalloc, 0x42) {
+		t.Error("old set's patch survives ResetPatches")
+	}
+	if !d.ProbePatched(heapsim.FnMalloc, 0x99) {
+		t.Error("new set's patch not loaded")
+	}
+	gotAddrs, gotStats := workload(d)
+	if gotAddrs != wantAddrs {
+		t.Errorf("addresses diverge from fresh: got %#x want %#x", gotAddrs, wantAddrs)
+	}
+	if gotStats != wantStats {
+		t.Errorf("stats diverge from fresh:\n got:  %+v\n want: %+v", gotStats, wantStats)
+	}
+}
+
+// TestResetPatchesSharedTableRefuses: a sealed shared table is
+// immutable by contract; swapping patch sets under it must be an
+// error, not a silent divergence between tenants.
+func TestResetPatchesSharedTableRefuses(t *testing.T) {
+	set := patches(patch.Patch{Fn: heapsim.FnMalloc, CCID: 0x1, Types: patch.TypeOverflow})
+	d := newDefender(t, Config{SharedTable: SealTable(set)})
+	if err := d.ResetPatches(patches()); err == nil {
+		t.Fatal("ResetPatches on a shared sealed table succeeded")
+	}
+}

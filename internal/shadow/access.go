@@ -133,6 +133,7 @@ func (b *Backend) store(addr uint64, v prog.Value, ccid uint64) error {
 		if err := b.space.RawWrite(addr, v.Bytes); err != nil {
 			return fmt.Errorf("shadow: raw write: %w", err)
 		}
+		b.notePlanes(o, n)
 		vm := b.vmask[o : o+n]
 		if v.Valid == nil {
 			fill(vm, byte(0xFF))
@@ -157,6 +158,14 @@ func (b *Backend) refStore(addr uint64, v prog.Value, ccid uint64) error {
 	n := uint64(len(v.Bytes))
 	if err := b.checkMapped(addr, n); err != nil {
 		return err
+	}
+	if end := addr + n; n > 0 && end >= addr {
+		if end > b.space.End() {
+			end = b.space.End()
+		}
+		if o, ok := b.off(addr); ok {
+			b.notePlanes(o, end-addr)
+		}
 	}
 	violated := false
 	for i := uint64(0); i < n; i++ {
@@ -214,6 +223,7 @@ func (b *Backend) Memcpy(dst, src, n, ccid uint64) error {
 			if err := b.space.RawMemmove(dst, src, n); err != nil {
 				return fmt.Errorf("shadow: raw copy: %w", err)
 			}
+			b.notePlanes(do, n)
 			copy(b.vmask[do:do+n], b.vmask[so:so+n])
 			copy(b.originT[do:do+n], b.originT[so:so+n])
 			return nil
@@ -258,6 +268,7 @@ func (b *Backend) Memset(addr uint64, c byte, n, ccid uint64) error {
 		if err := b.space.RawMemset(addr, c, n); err != nil {
 			return fmt.Errorf("shadow: raw fill: %w", err)
 		}
+		b.notePlanes(o, n)
 		fill(b.vmask[o:o+n], byte(0xFF))
 		fill(b.originT[o:o+n], uint32(0))
 		return nil

@@ -1,0 +1,149 @@
+package shadow
+
+import (
+	"reflect"
+	"testing"
+
+	"heaptherapy/internal/heapsim"
+	"heaptherapy/internal/mem"
+	"heaptherapy/internal/prog"
+)
+
+// violate drives one fixed warning-producing workload: an allocation,
+// an in-bounds store, an overflow into the red zone, an uninitialized
+// read, and a double free. Returns the warning strings.
+func violate(t *testing.T, b *Backend) []string {
+	t.Helper()
+	p := mustAlloc(t, b, heapsim.FnMalloc, 0xAAA, 1, 32, 0)
+	if err := b.Store(p, prog.Value{Bytes: make([]byte, 8)}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Store(p+32, prog.Value{Bytes: []byte{0x41}}, 2); err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.Load(p+8, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.CheckUse(v, prog.UseOutput, 3)
+	if err := b.Free(p, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Free(p, 5); err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, w := range b.Warnings() {
+		out = append(out, w.String())
+	}
+	return out
+}
+
+// TestBackendResetDifferential pins the pooled-analysis contract: a
+// Reset backend must behave bit-identically to a fresh one — same
+// warnings, same addresses, same leak state — across repeated
+// workloads, including after the plane watermark has grown.
+func TestBackendResetDifferential(t *testing.T) {
+	space, err := mem.NewSpace(mem.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recycled, err := New(space, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := violate(t, newBackend(t, Config{}))
+	if len(want) == 0 {
+		t.Fatal("workload produced no warnings")
+	}
+	for round := 0; round < 3; round++ {
+		if round > 0 {
+			space.Reset()
+			if err := recycled.Reset(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := violate(t, recycled)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round %d diverges from fresh:\n got:  %q\n want: %q", round, got, want)
+		}
+	}
+}
+
+// TestBackendResetPreservesHandedOutWarnings pins the aliasing hazard
+// that forced Reset to drop (not truncate) the warning buffer: a
+// report holding the previous run's Warnings slice must survive the
+// backend's recycling intact.
+func TestBackendResetPreservesHandedOutWarnings(t *testing.T) {
+	space, err := mem.NewSpace(mem.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(space, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := violate(t, b)
+	held := b.Warnings() // what an analysis.Report would retain
+	space.Reset()
+	if err := b.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Warnings()) != 0 {
+		t.Fatalf("warnings survive reset: %v", b.Warnings())
+	}
+	violate(t, b)
+	var after []string
+	for _, w := range held {
+		after = append(after, w.String())
+	}
+	if !reflect.DeepEqual(after, first) {
+		t.Fatalf("held warnings clobbered by post-reset run:\n got:  %q\n want: %q", after, first)
+	}
+}
+
+// TestBackendResetClearsState walks the observable surfaces one by
+// one: after Reset nothing of the previous run may remain.
+func TestBackendResetClearsState(t *testing.T) {
+	space, err := mem.NewSpace(mem.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(space, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := mustAlloc(t, b, heapsim.FnMalloc, 0xBBB, 1, 16, 0)
+	if err := b.Store(p+16, prog.Value{Bytes: []byte{1}}, 1); err != nil {
+		t.Fatal(err)
+	}
+	// p is never freed: a leak.
+	if len(b.Warnings()) == 0 || len(b.Leaks()) == 0 {
+		t.Fatalf("setup: warnings=%d leaks=%d", len(b.Warnings()), len(b.Leaks()))
+	}
+	space.Reset()
+	if err := b.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Warnings()) != 0 {
+		t.Errorf("warnings after reset: %v", b.Warnings())
+	}
+	if leaks := b.Leaks(); len(leaks) != 0 {
+		t.Errorf("leaks after reset: %v", leaks)
+	}
+	if c := b.Cycles(); c != 0 {
+		t.Errorf("cycles after reset: %d", c)
+	}
+	// A duplicate of the pre-reset warning must be reported again (the
+	// dedup set was cleared), at the same address (the heap rewound).
+	q := mustAlloc(t, b, heapsim.FnMalloc, 0xBBB, 1, 16, 0)
+	if q != p {
+		t.Errorf("allocation address moved across reset: %#x -> %#x", p, q)
+	}
+	if err := b.Store(q+16, prog.Value{Bytes: []byte{1}}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Warnings()) != 1 {
+		t.Errorf("deduped warning not re-reported after reset: %v", b.Warnings())
+	}
+}

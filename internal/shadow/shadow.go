@@ -111,6 +111,12 @@ type Backend struct {
 
 	cycles uint64
 
+	// touchLo/touchHi watermark the plane region dirtied since the last
+	// Reset (plane offsets, lo > hi when untouched), so Reset restores
+	// defaults only over what a run actually wrote instead of
+	// re-clearing megabytes of already-default plane.
+	touchLo, touchHi uint64
+
 	// cpScratch and setScratch are reusable buffers for the Memcpy and
 	// Memset slow paths, so falling off the fast path costs a copy, not
 	// an allocation per call.
@@ -158,7 +164,64 @@ func New(space *mem.Space, cfg Config) (*Backend, error) {
 		space:    space,
 		cfg:      cfg,
 		warnSeen: make(map[warnKey]bool),
+		touchLo:  ^uint64(0),
 	}, nil
+}
+
+// Reset recycles the backend for a fresh analysis run. The caller must
+// Reset the space first; the underlying heap then re-establishes its
+// arena at the same address a fresh construction would, and the chunk
+// index, origin table, freed-block queue, warnings, and cycle count
+// clear. The shadow planes restore their defaults (accessible, fully
+// valid, no origin) over the touched watermark only, so reset cost is
+// proportional to what the previous run dirtied — the same contract as
+// mem.Space.Reset. The campaign's pooled-vs-fresh differential test
+// proves a Reset backend bit-identical to a new one over the full
+// oracle matrix.
+//
+// The warnings slice is dropped rather than truncated: Warnings()
+// hands out the live slice, and reports taken from a previous run must
+// not see their findings overwritten by the next one.
+func (b *Backend) Reset() error {
+	if err := b.heap.Reset(); err != nil {
+		return fmt.Errorf("shadow: reset: %w", err)
+	}
+	if b.touchLo < b.touchHi {
+		lo, hi := b.touchLo, b.touchHi
+		if n := uint64(len(b.access)); hi > n {
+			hi = n
+		}
+		if lo < hi {
+			fill(b.access[lo:hi], true)
+			fill(b.vmask[lo:hi], byte(0xFF))
+			fill(b.originT[lo:hi], uint32(0))
+		}
+	}
+	b.touchLo, b.touchHi = ^uint64(0), 0
+	b.origins = b.origins[:0]
+	b.chunks = b.chunks[:0]
+	b.queue = b.queue[:0]
+	b.queueBytes = 0
+	b.warnings = nil
+	clear(b.warnSeen)
+	b.cycles = 0
+	return nil
+}
+
+// notePlanes widens the touch watermark to cover n plane bytes at
+// offset o. Every plane write site calls it (conservatively — noting
+// more than was written only makes Reset clear a few extra default
+// bytes, never miss a dirty one).
+func (b *Backend) notePlanes(o, n uint64) {
+	if n == 0 {
+		return
+	}
+	if o < b.touchLo {
+		b.touchLo = o
+	}
+	if o+n > b.touchHi {
+		b.touchHi = o + n
+	}
 }
 
 // Heap exposes the underlying allocator for statistics.
@@ -237,6 +300,7 @@ func (b *Backend) markRange(addr, n uint64, accessible bool, vm byte, org uint32
 	if !ok {
 		return
 	}
+	b.notePlanes(o, m)
 	fill(b.access[o:o+m], accessible)
 	fill(b.vmask[o:o+m], vm)
 	fill(b.originT[o:o+m], org)
@@ -244,6 +308,14 @@ func (b *Backend) markRange(addr, n uint64, accessible bool, vm byte, org uint32
 
 // refMarkRange is the naive per-byte predecessor of markRange.
 func (b *Backend) refMarkRange(addr, n uint64, accessible bool, vm byte, org uint32) {
+	if end := addr + n; n > 0 && end >= addr {
+		if end > b.space.End() {
+			end = b.space.End()
+		}
+		if o, ok := b.off(addr); ok {
+			b.notePlanes(o, end-addr)
+		}
+	}
 	for i := uint64(0); i < n; i++ {
 		o, ok := b.off(addr + i)
 		if !ok {

@@ -55,6 +55,16 @@ func (r *ring) push(kind EventKind, tenant uint32, ccid, site, arg uint64) {
 // overwritten).
 func (r *ring) total() uint64 { return r.pos.Load() }
 
+// reset empties the ring in place: every slot is invalidated and the
+// position counter rewinds, so a subsequent push sequence is
+// indistinguishable from one on a freshly initialized ring.
+func (r *ring) reset() {
+	for i := range r.slots {
+		r.slots[i].seq.Store(0)
+	}
+	r.pos.Store(0)
+}
+
 // snapshot copies every currently consistent slot, oldest first.
 // Slots caught mid-write are skipped; with quiesced writers the result
 // is exactly the last min(total, capacity) events.

@@ -324,6 +324,30 @@ func (c *Collector) ScopeFor(tenant uint32) *Scope {
 // Tenants reports how many scopes Scope has issued.
 func (c *Collector) Tenants() uint32 { return c.scopes.Load() }
 
+// Reset clears the collector in place: every counter and histogram
+// bucket returns to zero and the event ring empties. Scopes already
+// issued remain valid and keep reporting into the same shards, and the
+// issued-scope count (Tenants) is preserved — so a pooled pipeline
+// that built its scopes once can recycle the collector per run and
+// take snapshots bit-identical to a fresh collector with the same
+// scopes. Reset is not one atomic cut across writers; quiesce them
+// first (the campaign workbench resets between single-threaded cell
+// runs, where this holds trivially).
+func (c *Collector) Reset() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		for j := range sh.counters {
+			sh.counters[j].Store(0)
+		}
+		for h := range sh.hist {
+			for k := range sh.hist[h] {
+				sh.hist[h][k].Store(0)
+			}
+		}
+	}
+	c.ring.reset()
+}
+
 // Scope is a per-tenant reporting handle. All methods are safe for
 // concurrent use and safe on a nil receiver (the disabled state):
 // instrumented code holds a *Scope field that is nil when telemetry is
