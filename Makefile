@@ -1,17 +1,18 @@
 GO ?= go
 PKGS := ./...
 # Packages with concurrent components (interpreter threads, defended
-# allocator under concurrency, the parallel fleet runtime) that the
-# race detector must cover, plus the campaign harness whose matrix
-# replays cross all of them.
-RACE_PKGS := ./internal/defense/ ./internal/prog/ ./internal/fleet/ ./internal/campaign/ ./internal/telemetry/
+# allocator under concurrency, the parallel fleet runtime, the HTTP
+# front-end's hot-swap/soak layer) that the race detector must cover,
+# plus the campaign harness whose matrix replays cross all of them.
+RACE_PKGS := ./internal/defense/ ./internal/prog/ ./internal/fleet/ ./internal/serve/ ./internal/campaign/ ./internal/telemetry/
 # Packages whose statement coverage is gated in CI: the allocator the
-# campaign walker audits, the campaign rig itself, and the runtime
-# layers the telemetry sweep pinned (defense/shadow/mem/telemetry).
-COVER_GATE_PKGS := ./internal/heapsim/ ./internal/campaign/ ./internal/defense/ ./internal/shadow/ ./internal/mem/ ./internal/telemetry/
+# campaign walker audits, the campaign rig itself, the runtime layers
+# the telemetry sweep pinned (defense/shadow/mem/telemetry), and the
+# serving stack (fleet + serve front-end).
+COVER_GATE_PKGS := ./internal/heapsim/ ./internal/campaign/ ./internal/defense/ ./internal/shadow/ ./internal/mem/ ./internal/telemetry/ ./internal/fleet/ ./internal/serve/
 COVER_MIN := 80
 
-.PHONY: all build test race vet fmt-check bench bench-json bench-campaign bench-campaign-json bench-fleet bench-vm bench-compiled bench-encoding bench-smoke bench-telemetry check cover corpus fuzz-smoke
+.PHONY: all build test race vet fmt-check bench bench-json bench-campaign bench-campaign-json bench-fleet bench-serve bench-serve-json bench-vm bench-compiled bench-encoding bench-smoke bench-telemetry check cover corpus fuzz-smoke
 
 all: check
 
@@ -47,6 +48,16 @@ bench-json:
 # parallel serve throughput at 1/2/4/8 workers.
 bench-fleet:
 	$(GO) test -run '^$$' -bench 'BenchmarkFleet' -benchmem ./internal/fleet/
+
+# Serve front-end: end-to-end HTTP req/s at 1/2/4/8 workers while a
+# swapper performs continuous live patch rollouts, plus SwapTable
+# latency percentiles under that load (record with:
+# make bench-serve-json, fold into BENCH_$(shell date +%F).json).
+bench-serve:
+	$(GO) run ./cmd/htp-bench -exp serve
+
+bench-serve-json:
+	$(GO) run ./cmd/htp-bench -exp serve -json
 
 # Interpreter engine benchmarks: tree-walker vs bytecode VM plus the
 # one-time compile cost. BENCHTIME=1x gives a fast smoke run.

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	htp-bench [-exp all|encoding|table2|table3|table4|fig8|fig9|services|ablation|guard|fleet|campaign|telemetry|vm|tierup] [-quick] [-scale N] [-engine tree|vm|compiled] [-tierup N]
+//	htp-bench [-exp all|encoding|table2|table3|table4|fig8|fig9|services|ablation|guard|fleet|serve|campaign|telemetry|vm|tierup] [-quick] [-scale N] [-engine tree|vm|compiled] [-tierup N]
 package main
 
 import (
@@ -29,7 +29,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("htp-bench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to run: all, encoding, table2, table3, table4, fig8, fig9, services, concurrent, ablation, stackoffset, scaling, guard, fleet, campaign, telemetry, vm, tierup")
+	exp := fs.String("exp", "all", "experiment to run: all, encoding, table2, table3, table4, fig8, fig9, services, concurrent, ablation, stackoffset, scaling, guard, fleet, serve, campaign, telemetry, vm, tierup")
 	quick := fs.Bool("quick", false, "trim sweeps for a fast run")
 	scale := fs.Uint64("scale", 0, "divisor for Table IV allocation counts (default 10000)")
 	jsonOut := fs.Bool("json", false, "emit per-experiment wall time and allocations as JSON instead of rendered tables")
@@ -54,6 +54,7 @@ func run(args []string) error {
 	var vmResult *experiments.VMComparisonResult
 	var tierUpResult *experiments.TierUpComparisonResult
 	var campaignResult *experiments.CampaignThroughputResult
+	var serveResult *experiments.ServeThroughputResult
 	wrap := func(f func(experiments.Config) (interface{ Render() string }, error)) func() (fmt.Stringer, error) {
 		return func() (fmt.Stringer, error) {
 			r, err := f(cfg)
@@ -100,6 +101,13 @@ func run(args []string) error {
 		})},
 		{"fleet", wrap(func(c experiments.Config) (interface{ Render() string }, error) {
 			return experiments.Fleet(c)
+		})},
+		{"serve", wrap(func(c experiments.Config) (interface{ Render() string }, error) {
+			r, err := experiments.ServeThroughput(c)
+			if err == nil {
+				serveResult = r
+			}
+			return r, err
 		})},
 		{"telemetry", wrap(func(c experiments.Config) (interface{ Render() string }, error) {
 			return experiments.TelemetryOverhead(c)
@@ -175,6 +183,20 @@ func run(args []string) error {
 					"geomean_vs_tree":        tierUpResult.GeomeanVsTree,
 					"tierup_threshold":       float64(tierUpResult.Threshold),
 					"steady_state_allocs_op": tierUpResult.SteadyStateAllocs,
+				}
+			}
+			if r.name == "serve" && serveResult != nil {
+				best := 0.0
+				for _, row := range serveResult.Rows {
+					if row.ReqPerSec > best {
+						best = row.ReqPerSec
+					}
+				}
+				br.Detail = map[string]float64{
+					"best_req_per_sec": best,
+					"swap_p50_ns":      float64(serveResult.SwapP50.Nanoseconds()),
+					"swap_p99_ns":      float64(serveResult.SwapP99.Nanoseconds()),
+					"swaps":            float64(serveResult.SwapCount),
 				}
 			}
 			if r.name == "campaign" && campaignResult != nil {

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// TestGolden pins the CLI's end-to-end output byte for byte: the
+// per-scheme cost table, instrumentation-site listings, and the
+// profiling report. Graph construction, encoding plans, and the
+// profiling run are all deterministic, so the output is stable across
+// hosts. Regenerate with: go test ./cmd/htp-instrument -run Golden -update
+func TestGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"figure2-incremental-sites", []string{"-figure2", "-sites", "-scheme", "Incremental"}},
+		{"bench-perlbench", []string{"-bench", "400.perlbench"}},
+		{"bench-bzip2-slim-sites", []string{"-bench", "401.bzip2", "-scheme", "Slim", "-sites"}},
+		{"profile-libquantum", []string{"-bench", "462.libquantum", "-profile"}},
+		{"program-leaky-server", []string{"-program", "../../testdata/leaky-server.htp", "-scheme", "Slim", "-sites"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(c.args, &out); err != nil {
+				t.Fatal(err)
+			}
+			compareGolden(t, filepath.Join("testdata", c.name+".golden"), out.Bytes())
+		})
+	}
+}
+
+// compareGolden diffs got against the golden file, rewriting it under
+// -update.
+func compareGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s (rerun with -update after verifying):\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+}

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"heaptherapy/internal/callgraph"
@@ -26,13 +27,13 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "htp-instrument:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("htp-instrument", flag.ContinueOnError)
 	fig2 := fs.Bool("figure2", false, "use the paper's Figure 2 example graph")
 	bench := fs.String("bench", "", "use this SPEC benchmark's synthetic call graph")
@@ -91,16 +92,16 @@ func run(args []string) error {
 		return fmt.Errorf("one of -figure2, -bench, or -program is required")
 	}
 
-	fmt.Printf("graph: %s (%d functions, %d call sites, %d targets)\n\n",
+	fmt.Fprintf(stdout, "graph: %s (%d functions, %d call sites, %d targets)\n\n",
 		name, g.NumNodes(), g.NumEdges(), len(targets))
-	fmt.Printf("%-12s  %-6s  %-6s  %-8s\n", "scheme", "sites", "funcs", "size(+%)")
+	fmt.Fprintf(stdout, "%-12s  %-6s  %-6s  %-8s\n", "scheme", "sites", "funcs", "size(+%)")
 	for _, scheme := range encoding.AllSchemes() {
 		plan, err := encoding.NewPlan(scheme, g, targets)
 		if err != nil {
 			return err
 		}
 		rep := encoding.Cost(g, plan, encoding.EncoderPCC, size)
-		fmt.Printf("%-12s  %-6d  %-6d  %.2f\n",
+		fmt.Fprintf(stdout, "%-12s  %-6d  %-6d  %.2f\n",
 			scheme, rep.InstrumentedSites, rep.InstrumentedFuncs, rep.SizeIncreasePercent())
 	}
 
@@ -113,16 +114,16 @@ func run(args []string) error {
 		return err
 	}
 	if *listSites {
-		fmt.Printf("\n%s instrumentation set:\n", scheme)
+		fmt.Fprintf(stdout, "\n%s instrumentation set:\n", scheme)
 		for _, label := range plan.SiteLabels(g) {
-			fmt.Println(" ", label)
+			fmt.Fprintln(stdout, " ", label)
 		}
 	}
 	if *dotOut != "" {
 		if err := os.WriteFile(*dotOut, []byte(g.DOT(targets, plan.SiteSet())), 0o644); err != nil {
 			return fmt.Errorf("writing DOT: %w", err)
 		}
-		fmt.Printf("\nwrote %s plan rendering to %s\n", scheme, *dotOut)
+		fmt.Fprintf(stdout, "\nwrote %s plan rendering to %s\n", scheme, *dotOut)
 	}
 	if *profile {
 		if program == nil {
@@ -132,7 +133,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("\nhottest allocation contexts of %s:\n%s", program.Name, ccprof.Render(samples, 15))
+		fmt.Fprintf(stdout, "\nhottest allocation contexts of %s:\n%s", program.Name, ccprof.Render(samples, 15))
 	}
 	if *rewriteOut != "" {
 		if program == nil {
@@ -153,7 +154,7 @@ func run(args []string) error {
 		if err := os.WriteFile(*rewriteOut, []byte(progtext.Print(rewritten)), 0o644); err != nil {
 			return fmt.Errorf("writing instrumented program: %w", err)
 		}
-		fmt.Printf("\nwrote %s-instrumented program to %s\n", scheme, *rewriteOut)
+		fmt.Fprintf(stdout, "\nwrote %s-instrumented program to %s\n", scheme, *rewriteOut)
 	}
 	return nil
 }

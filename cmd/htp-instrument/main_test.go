@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"io"
 	"os"
 	"path/filepath"
@@ -8,30 +9,17 @@ import (
 	"testing"
 )
 
-func capture(t *testing.T, fn func() error) (string, error) {
+// runOut runs the CLI with an in-memory stdout and returns what it
+// printed.
+func runOut(t *testing.T, args ...string) (string, error) {
 	t.Helper()
-	old := os.Stdout
-	r, w, err := os.Pipe()
-	if err != nil {
-		t.Fatal(err)
-	}
-	os.Stdout = w
-	runErr := fn()
-	if cerr := w.Close(); cerr != nil {
-		t.Fatal(cerr)
-	}
-	os.Stdout = old
-	out, err := io.ReadAll(r)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return string(out), runErr
+	var buf bytes.Buffer
+	err := run(args, &buf)
+	return buf.String(), err
 }
 
 func TestFigure2(t *testing.T) {
-	out, err := capture(t, func() error {
-		return run([]string{"-figure2", "-sites", "-scheme", "Incremental"})
-	})
+	out, err := runOut(t, "-figure2", "-sites", "-scheme", "Incremental")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,9 +35,7 @@ func TestFigure2(t *testing.T) {
 }
 
 func TestBenchGraph(t *testing.T) {
-	out, err := capture(t, func() error {
-		return run([]string{"-bench", "401.bzip2"})
-	})
+	out, err := runOut(t, "-bench", "401.bzip2")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,9 +46,7 @@ func TestBenchGraph(t *testing.T) {
 
 func TestDOTOutput(t *testing.T) {
 	dot := filepath.Join(t.TempDir(), "g.dot")
-	if _, err := capture(t, func() error {
-		return run([]string{"-figure2", "-dot", dot, "-scheme", "Slim"})
-	}); err != nil {
+	if _, err := runOut(t, "-figure2", "-dot", dot, "-scheme", "Slim"); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(dot)
@@ -77,21 +61,19 @@ func TestDOTOutput(t *testing.T) {
 }
 
 func TestErrors(t *testing.T) {
-	if err := run(nil); err == nil {
+	if err := run(nil, io.Discard); err == nil {
 		t.Error("no graph selection accepted")
 	}
-	if err := run([]string{"-bench", "999.none"}); err == nil {
+	if err := run([]string{"-bench", "999.none"}, io.Discard); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
-	if err := run([]string{"-figure2", "-scheme", "Bogus"}); err == nil {
+	if err := run([]string{"-figure2", "-scheme", "Bogus"}, io.Discard); err == nil {
 		t.Error("unknown scheme accepted")
 	}
 }
 
 func TestProfileBenchmark(t *testing.T) {
-	out, err := capture(t, func() error {
-		return run([]string{"-bench", "462.libquantum", "-profile"})
-	})
+	out, err := runOut(t, "-bench", "462.libquantum", "-profile")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,16 +85,14 @@ func TestProfileBenchmark(t *testing.T) {
 }
 
 func TestProfileNeedsProgram(t *testing.T) {
-	if err := run([]string{"-figure2", "-profile"}); err == nil {
+	if err := run([]string{"-figure2", "-profile"}, io.Discard); err == nil {
 		t.Error("-profile with -figure2 accepted (no runnable program)")
 	}
 }
 
 func TestRewriteFlag(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "instr.htp")
-	if _, err := capture(t, func() error {
-		return run([]string{"-program", "../../testdata/leaky-server.htp", "-scheme", "Slim", "-rewrite", out})
-	}); err != nil {
+	if _, err := runOut(t, "-program", "../../testdata/leaky-server.htp", "-scheme", "Slim", "-rewrite", out); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -124,7 +104,7 @@ func TestRewriteFlag(t *testing.T) {
 			t.Errorf("instrumented output missing %q", want)
 		}
 	}
-	if err := run([]string{"-figure2", "-rewrite", out}); err == nil {
+	if err := run([]string{"-figure2", "-rewrite", out}, io.Discard); err == nil {
 		t.Error("-rewrite without a runnable program accepted")
 	}
 }

@@ -1,0 +1,87 @@
+package campaign
+
+// Bundle ingest: the half of the forensic-bundle story that runs
+// OUTSIDE a campaign. A live front-end that traps a crash packages the
+// offending request as a bundle (LiveBundle); anything holding a
+// bundle — the front-end's rollout worker, a developer with a
+// campaign's JSON report — decodes it back to replayable inputs
+// (DecodeBundle, AttackInput/BenignInput) and feeds the attack to the
+// offline analyzer. The encode side lives in shard.go (buildBundle).
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"heaptherapy/internal/telemetry"
+)
+
+// KindLiveCrash marks a bundle captured from live traffic rather than
+// a generated campaign case.
+const KindLiveCrash = "live-crash"
+
+// LiveBundle packages a crash trapped on a live tenant as a forensic
+// bundle in the campaign's interchange format. source names the
+// service program, attack is the request that faulted, benign is a
+// known-good request for differential replay, detail describes the
+// fault, and events is the tenant's telemetry flight-recorder tail
+// (may be nil).
+func LiveBundle(source string, benign, attack []byte, detail string, events []telemetry.Event) *Bundle {
+	b := &Bundle{
+		Kind:   KindLiveCrash,
+		Source: source,
+		Benign: hex.EncodeToString(benign),
+		Attack: hex.EncodeToString(attack),
+		Failures: []Failure{{
+			Kind:   KindLiveCrash,
+			Class:  FailDefenseCrash,
+			Detail: detail,
+		}},
+	}
+	if len(events) > 0 {
+		b.Traces = []CellTrace{{Cell: "live", Events: events}}
+	}
+	return b
+}
+
+// EncodeJSON writes the bundle as one JSON document.
+func (b *Bundle) EncodeJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// DecodeBundle parses a JSON bundle document and validates that its
+// inputs decode.
+func DecodeBundle(r io.Reader) (*Bundle, error) {
+	var b Bundle
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("campaign: decoding bundle: %w", err)
+	}
+	if _, err := b.AttackInput(); err != nil {
+		return nil, err
+	}
+	if _, err := b.BenignInput(); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}
+
+// AttackInput decodes the bundle's attack request bytes.
+func (b *Bundle) AttackInput() ([]byte, error) {
+	in, err := hex.DecodeString(b.Attack)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: bundle attack input: %w", err)
+	}
+	return in, nil
+}
+
+// BenignInput decodes the bundle's benign request bytes.
+func (b *Bundle) BenignInput() ([]byte, error) {
+	in, err := hex.DecodeString(b.Benign)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: bundle benign input: %w", err)
+	}
+	return in, nil
+}

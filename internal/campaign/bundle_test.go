@@ -1,0 +1,97 @@
+package campaign
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"heaptherapy/internal/telemetry"
+)
+
+// TestBundleRoundTrip: a live-captured bundle survives the JSON
+// round trip with its inputs intact.
+func TestBundleRoundTrip(t *testing.T) {
+	benign, attack := []byte{0, 4}, []byte{0xFF, 0xFF}
+	b := LiveBundle("nginx-vulnerable", benign, attack, "wild fault at 0x203000",
+		[]telemetry.Event{{Kind: telemetry.EvFault, CCID: 1, Site: 0x203000, Arg: 65535}})
+
+	var buf bytes.Buffer
+	if err := b.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBundle(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != KindLiveCrash || got.Source != "nginx-vulnerable" {
+		t.Errorf("kind/source = %q/%q", got.Kind, got.Source)
+	}
+	in, err := got.AttackInput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(in, attack) {
+		t.Errorf("attack input %x, want %x", in, attack)
+	}
+	in, err = got.BenignInput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(in, benign) {
+		t.Errorf("benign input %x, want %x", in, benign)
+	}
+	if len(got.Failures) != 1 || got.Failures[0].Class != FailDefenseCrash {
+		t.Errorf("failures = %+v", got.Failures)
+	}
+	if len(got.Traces) != 1 || len(got.Traces[0].Events) != 1 {
+		t.Errorf("traces = %+v", got.Traces)
+	}
+}
+
+// TestDecodeBundleRejects: garbage JSON and non-hex inputs fail.
+func TestDecodeBundleRejects(t *testing.T) {
+	if _, err := DecodeBundle(strings.NewReader("{")); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	if _, err := DecodeBundle(strings.NewReader(`{"attack":"zz"}`)); err == nil {
+		t.Error("non-hex attack input accepted")
+	}
+	if _, err := DecodeBundle(strings.NewReader(`{"attack":"00","benign":"zz"}`)); err == nil {
+		t.Error("non-hex benign input accepted")
+	}
+}
+
+// TestCampaignBundleIngest: a bundle produced by the campaign's own
+// encoder (buildBundle) decodes back to the generator's exact inputs —
+// the interchange format is self-contained across encode and ingest.
+func TestCampaignBundleIngest(t *testing.T) {
+	g, err := Generate(7, GenConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := &Report{Seed: g.Seed, Kind: g.Kind.String()}
+	rep.fail(FailDefenseCrash, "defended/heap/tree/attack", "synthetic")
+	b := buildBundle(g, rep, nil)
+
+	var buf bytes.Buffer
+	if err := b.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBundle(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != g.Seed || got.Kind != g.Kind.String() {
+		t.Errorf("seed/kind = %d/%q, want %d/%q", got.Seed, got.Kind, g.Seed, g.Kind)
+	}
+	in, err := got.AttackInput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(in, g.Attack) {
+		t.Errorf("bundle attack %x, regenerated %x", in, g.Attack)
+	}
+	if len(got.Failures) != 1 || got.Failures[0].Class != FailDefenseCrash {
+		t.Errorf("failures = %+v", got.Failures)
+	}
+}

@@ -158,6 +158,12 @@ func (b *Backend) ResetPatches(set *patch.Set) error {
 	return b.def.ResetPatches(set)
 }
 
+// SwapSharedTable re-points the backend's Defender at a new sealed
+// table (see Defender.SwapSharedTable for the contract).
+func (b *Backend) SwapSharedTable(t *SealedTable) error {
+	return b.def.SwapSharedTable(t)
+}
+
 // NewBackendWithAllocator builds a defended execution backend over a
 // caller-supplied underlying allocator (see NewWithAllocator).
 func NewBackendWithAllocator(space *mem.Space, under heapsim.Allocator, cfg Config) (*Backend, error) {

@@ -763,6 +763,37 @@ func (d *Defender) Cycles() uint64 { return d.cycles }
 // comparison is O(1) and never wrong, content comparison is neither.
 func (d *Defender) TableGeneration() uint64 { return d.gen }
 
+// SharedTable returns the immutable cross-worker table this Defender
+// probes, nil when it materialized a private in-space table instead.
+func (d *Defender) SharedTable() *SealedTable { return d.shared }
+
+// SwapSharedTable re-points a shared-table Defender at a new sealed
+// table — the code-less patch rollout primitive. The old table is
+// untouched (other workers may still be probing it) and the swap bumps
+// the table generation, so every generation-keyed verdict cache (the
+// VM's and the compiled engine's per-site inline caches) revalidates
+// against the new table on its next probe.
+//
+// Contract: only the owning goroutine may call this (the swap mutates
+// unsynchronized Defender state, like every other mutation), and only
+// on a Defender constructed with Config.SharedTable — a private
+// in-space table cannot be swapped because its pages live inside the
+// worker's own space. The configuration is updated too, so a later
+// Reset re-establishes the NEW table, not the one the Defender was
+// built with.
+func (d *Defender) SwapSharedTable(t *SealedTable) error {
+	if d.cfg.SharedTable == nil {
+		return fmt.Errorf("defense: SwapSharedTable on a Defender without a shared table")
+	}
+	if t == nil {
+		return fmt.Errorf("defense: SwapSharedTable with nil table")
+	}
+	d.cfg.SharedTable = t
+	d.shared = t
+	d.gen++
+	return nil
+}
+
 // ProbePatched reports whether an allocation through fn at ccid would
 // hit an installed patch. Unlike the lookup on the allocation path it
 // is completely side-effect-free — no statistics, no cycle charges — so

@@ -309,3 +309,30 @@ func TestTierUpComparisonShape(t *testing.T) {
 		t.Error("render missing geomean headline")
 	}
 }
+
+func TestServeThroughputShape(t *testing.T) {
+	r, err := ServeThroughput(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("quick run has %d rows, want 3", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.ReqPerSec <= 0 {
+			t.Errorf("w=%d: req/s %.0f, want > 0", row.Workers, row.ReqPerSec)
+		}
+	}
+	// The swapper ran live rollouts during every measurement window and
+	// none of them failed a request (ServeThroughput errors otherwise).
+	if r.SwapCount == 0 {
+		t.Error("no table swaps landed during the measurement")
+	}
+	if r.SwapP50 <= 0 || r.SwapMax < r.SwapP99 || r.SwapP99 < r.SwapP50 {
+		t.Errorf("swap latency percentiles inconsistent: p50=%v p99=%v max=%v",
+			r.SwapP50, r.SwapP99, r.SwapMax)
+	}
+	if !strings.Contains(r.Render(), "SwapTable latency") {
+		t.Error("Render missing the swap-latency summary")
+	}
+}

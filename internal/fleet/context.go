@@ -67,13 +67,55 @@ func (c *Context) Reset() error {
 	return nil
 }
 
+// SyncTable re-points the context's defense layer at the fleet's
+// CURRENT sealed table, reporting whether a swap occurred. A pooled
+// context may have been built before a SwapTable; syncing at checkout
+// is what makes a rollout reach recycled workers — the Defender's
+// generation bump then invalidates every engine verdict cache bound to
+// this context's backend. Native contexts have nothing to sync.
+//
+// Must be called by the context's owning goroutine (between Acquire
+// and Release), like every other Context method.
+func (c *Context) SyncTable(f *Fleet) bool {
+	if c.defender == nil {
+		return false
+	}
+	cur := f.Table()
+	if cur == nil || c.defender.SharedTable() == cur {
+		return false
+	}
+	// The swap cannot fail: fleet defenders are always built over a
+	// shared table and cur is non-nil.
+	if err := c.defender.SwapSharedTable(cur); err != nil {
+		panic(fmt.Sprintf("fleet: syncing context table: %v", err))
+	}
+	return true
+}
+
 // Acquire returns a ready-to-use worker context: a pooled one when
-// available (already Reset), a freshly built one otherwise.
+// available (already Reset, re-pointed at the current sealed table), a
+// freshly built one otherwise.
 func (f *Fleet) Acquire() (*Context, error) {
 	if c, ok := f.ctxPool.Get().(*Context); ok {
+		c.SyncTable(f)
 		return c, nil
 	}
 	return f.newContext()
+}
+
+// DrainPool discards every pooled context and reports how many were
+// dropped. Use it when the fleet goes quiet (graceful shutdown) so
+// worker spaces are released to the garbage collector, or in tests
+// that need the next Acquire to construct from scratch. Contexts
+// currently checked out are unaffected.
+func (f *Fleet) DrainPool() int {
+	n := 0
+	for {
+		if _, ok := f.ctxPool.Get().(*Context); !ok {
+			return n
+		}
+		n++
+	}
 }
 
 // Release returns a context to the pool for reuse. The context must
@@ -110,7 +152,7 @@ func (f *Fleet) newContext() (*Context, error) {
 
 	dcfg := defense.Config{
 		Mode:        f.cfg.Mode,
-		SharedTable: f.table,
+		SharedTable: f.Table(),
 		QueueQuota:  f.cfg.QueueQuota,
 		Telemetry:   c.tel,
 	}

@@ -118,6 +118,8 @@ type Stats struct {
 	ContextsBuilt uint64
 	// Resets counts context recycles.
 	Resets uint64
+	// TableSwaps counts SwapTable installs (code-less patch rollouts).
+	TableSwaps uint64
 	// Defense is the sum of all workers' defense counters.
 	Defense defense.Stats
 	// Telemetry is the merged telemetry snapshot, nil when the fleet
@@ -133,8 +135,15 @@ type Stats struct {
 // is safe for concurrent use (Serve may itself be called from
 // multiple goroutines — workers never share contexts).
 type Fleet struct {
-	cfg   Config
-	table *defense.SealedTable // nil when !cfg.Defended
+	cfg Config
+
+	// table is the CURRENT shared sealed table (nil when !cfg.Defended).
+	// It is an atomic pointer because SwapTable replaces it under live
+	// traffic: readers (Acquire's table sync, Stats) load the pointer,
+	// in-flight workers keep probing whichever table their Defender was
+	// pointed at when they acquired their context — the old table stays
+	// valid forever (immutable), it just stops being handed out.
+	table atomic.Pointer[defense.SealedTable]
 
 	ctxPool sync.Pool // *Context
 
@@ -142,6 +151,7 @@ type Fleet struct {
 	crashes       atomic.Uint64
 	contextsBuilt atomic.Uint64
 	resets        atomic.Uint64
+	swaps         atomic.Uint64
 
 	// Merged defense counters (see Stats.Defense).
 	dAllocs        atomic.Uint64
@@ -163,21 +173,55 @@ func New(cfg Config) *Fleet {
 	}
 	f := &Fleet{cfg: cfg}
 	if cfg.Defended {
-		f.table = defense.SealTable(cfg.Patches)
-		if cfg.Telemetry != nil {
-			// Must happen before any worker shares the table.
-			f.table.EnableHitCounts()
-		}
+		f.table.Store(f.seal(cfg.Patches))
 	}
 	return f
+}
+
+// seal builds a shareable sealed table from a patch set, with hit
+// counting enabled before anything can probe it when the fleet is
+// telemetered.
+func (f *Fleet) seal(patches *patch.Set) *defense.SealedTable {
+	t := defense.SealTable(patches)
+	if f.cfg.Telemetry != nil {
+		// Must happen before any worker shares the table.
+		t.EnableHitCounts()
+	}
+	return t
 }
 
 // Workers returns the configured worker count.
 func (f *Fleet) Workers() int { return f.cfg.Workers }
 
-// Table returns the shared sealed patch table (nil for a native
-// fleet).
-func (f *Fleet) Table() *defense.SealedTable { return f.table }
+// Table returns the CURRENT shared sealed patch table (nil for a
+// native fleet).
+func (f *Fleet) Table() *defense.SealedTable { return f.table.Load() }
+
+// SwapTable seals a new patch set and installs it as the fleet's
+// current table — the code-less patch rollout, performed under live
+// traffic with no restart:
+//
+//   - the new table is built and (if telemetered) hit-enabled BEFORE
+//     it becomes visible, so no worker ever sees a half-built table;
+//   - the install is one atomic pointer store: contexts acquired after
+//     it observe the new table (Acquire re-points pooled Defenders,
+//     bumping their generation so every engine verdict cache
+//     revalidates), while contexts already in flight keep serving on
+//     the old table, which is immutable and therefore valid forever;
+//   - nothing is ever mutated in place, so there is no window where a
+//     request can fail because of the swap.
+//
+// The returned table is the installed one. Swapping a native fleet is
+// an error — there is no table to swap.
+func (f *Fleet) SwapTable(patches *patch.Set) (*defense.SealedTable, error) {
+	if !f.cfg.Defended {
+		return nil, fmt.Errorf("fleet: SwapTable on a native (undefended) fleet")
+	}
+	t := f.seal(patches)
+	f.table.Store(t)
+	f.swaps.Add(1)
+	return t, nil
+}
 
 // Stats returns a consistent-enough snapshot of fleet statistics:
 // each counter is read atomically; the set is not a single atomic
@@ -187,8 +231,10 @@ func (f *Fleet) Stats() Stats {
 	var hits map[patch.Key]uint64
 	if f.cfg.Telemetry != nil {
 		snap = f.cfg.Telemetry.Snapshot()
-		if f.table != nil {
-			hits = f.table.HitCounts()
+		if t := f.table.Load(); t != nil {
+			// Swapped-out tables keep their tallies; the snapshot
+			// reports the CURRENT table's hits (post-rollout traffic).
+			hits = t.HitCounts()
 		}
 	}
 	return Stats{
@@ -198,6 +244,7 @@ func (f *Fleet) Stats() Stats {
 		Crashes:       f.crashes.Load(),
 		ContextsBuilt: f.contextsBuilt.Load(),
 		Resets:        f.resets.Load(),
+		TableSwaps:    f.swaps.Load(),
 		Defense: defense.Stats{
 			Allocs:         f.dAllocs.Load(),
 			Lookups:        f.dLookups.Load(),
@@ -339,6 +386,35 @@ func (f *Fleet) serveWorker(p *prog.Program, compiled *prog.Compiled, closures *
 		f.resets.Add(1)
 	}
 	f.Release(ctx)
+	return nil
+}
+
+// Swaps returns the number of SwapTable installs so far — the cheap
+// per-request read (Stats builds a full snapshot; this is one atomic
+// load, suitable for stamping responses with the table epoch that
+// served them).
+func (f *Fleet) Swaps() uint64 { return f.swaps.Load() }
+
+// FinishRequest accounts one request served on c outside Serve — the
+// seam for request-driven front-ends that check contexts out per
+// request instead of per batch. It performs exactly what Serve's worker
+// loop does after a run: fleet and tenant counters, the defense-stat
+// delta merge, and the context recycle, leaving c ready for its next
+// checkout. A crashed request is a normal outcome here too.
+func (f *Fleet) FinishRequest(c *Context, crashed bool) error {
+	f.requests.Add(1)
+	c.tel.Inc(telemetry.CtrRequests)
+	if crashed {
+		f.crashes.Add(1)
+		c.tel.Inc(telemetry.CtrCrashes)
+	}
+	if c.defender != nil {
+		f.merge(c.defender.Stats())
+	}
+	if err := c.Reset(); err != nil {
+		return fmt.Errorf("fleet: recycling context: %w", err)
+	}
+	f.resets.Add(1)
 	return nil
 }
 

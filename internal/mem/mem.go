@@ -396,21 +396,27 @@ func (s *Space) refCheck(addr, n uint64, kind AccessKind) error {
 		s.fault(addr, n, kind)
 		return &FaultError{Addr: addr, Kind: kind, Len: n, Reason: "address range wraps"}
 	}
-	if !s.Contains(addr, n) {
-		first := addr
-		if addr >= s.base && addr < s.End() {
-			first = s.End()
-		}
-		s.fault(first, n, kind)
-		return &FaultError{Addr: first, Kind: kind, Len: n, Reason: "unmapped address"}
+	if addr < s.base || addr >= s.End() {
+		s.fault(addr, n, kind)
+		return &FaultError{Addr: addr, Kind: kind, Len: n, Reason: "unmapped address"}
 	}
 	need := ProtRead
 	if kind == AccessWrite {
 		need = ProtWrite
 	}
+	// Walk pages in address order so the FIRST offending page decides
+	// the fault, the way an MMU would: an access that crosses a
+	// guard page on its way off the mapping faults on the guard page,
+	// not at the break — which is what lets the defense layer classify
+	// a huge patched overread as contained rather than wild.
 	firstPage := (addr - s.base) / PageSize
 	lastPage := (addr + n - 1 - s.base) / PageSize
 	for p := firstPage; p <= lastPage; p++ {
+		if p >= uint64(len(s.prot)) {
+			faultAddr := s.base + p*PageSize
+			s.fault(faultAddr, n, kind)
+			return &FaultError{Addr: faultAddr, Kind: kind, Len: n, Reason: "unmapped address"}
+		}
 		if s.prot[p]&need == 0 {
 			faultAddr := s.base + p*PageSize
 			if faultAddr < addr {

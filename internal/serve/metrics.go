@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+
+	"heaptherapy/internal/defense"
+	"heaptherapy/internal/telemetry"
+)
+
+// PatchHit is one sealed-table entry's lookup tally, flattened for
+// JSON (the fleet reports hits keyed by {FUN, CCID} structs).
+type PatchHit struct {
+	Fn   string `json:"fn"`
+	CCID uint64 `json:"ccid"`
+	Hits uint64 `json:"hits"`
+}
+
+// Metrics is the /metrics document: the front-end's own counters, the
+// fleet's merged request/defense statistics, the current table's
+// per-patch hit tallies, and the raw telemetry snapshot when a
+// collector is attached.
+type Metrics struct {
+	Program    string              `json:"program"`
+	Workers    int                 `json:"workers"`
+	Front      Stats               `json:"front"`
+	Requests   uint64              `json:"requests"`
+	Crashes    uint64              `json:"crashes"`
+	TableSwaps uint64              `json:"table_swaps"`
+	Patches    int                 `json:"patches"`
+	Defense    defense.Stats       `json:"defense"`
+	PatchHits  []PatchHit          `json:"patch_hits,omitempty"`
+	Telemetry  *telemetry.Snapshot `json:"telemetry,omitempty"`
+}
+
+// Metrics builds the /metrics document (also used by the CLI's
+// shutdown summary).
+func (s *Server) Metrics() Metrics {
+	fs := s.fleet.Stats()
+	s.patchMu.Lock()
+	npatches := s.patches.Len()
+	s.patchMu.Unlock()
+	m := Metrics{
+		Program:    s.cfg.Program.Name,
+		Workers:    s.cfg.Workers,
+		Front:      s.Stats(),
+		Requests:   fs.Requests,
+		Crashes:    fs.Crashes,
+		TableSwaps: fs.TableSwaps,
+		Patches:    npatches,
+		Defense:    fs.Defense,
+		Telemetry:  fs.Telemetry,
+	}
+	for k, n := range fs.PatchHits {
+		if n == 0 {
+			continue
+		}
+		m.PatchHits = append(m.PatchHits, PatchHit{Fn: k.Fn.String(), CCID: k.CCID, Hits: n})
+	}
+	sort.Slice(m.PatchHits, func(i, j int) bool {
+		a, b := m.PatchHits[i], m.PatchHits[j]
+		if a.Fn != b.Fn {
+			return a.Fn < b.Fn
+		}
+		return a.CCID < b.CCID
+	})
+	return m
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s.Metrics()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -79,6 +79,15 @@ const (
 	CtrRequests
 	// CtrCrashes counts served requests that ended in a fault.
 	CtrCrashes
+	// CtrRejected counts requests turned away by admission control
+	// (saturation or quota) before reaching a worker.
+	CtrRejected
+	// CtrRollouts counts live patch rollouts: sealed-table swaps
+	// triggered by trapped crashes.
+	CtrRollouts
+	// CtrRolloutFails counts rollout attempts that failed (shadow
+	// re-analysis or table build/swap) and left the old table serving.
+	CtrRolloutFails
 
 	// NumCounters is the number of counter IDs.
 	NumCounters
@@ -99,6 +108,9 @@ var counterNames = [NumCounters]string{
 	CtrQuanta:             "quanta",
 	CtrRequests:           "requests",
 	CtrCrashes:            "crashes",
+	CtrRejected:           "rejected",
+	CtrRollouts:           "rollouts",
+	CtrRolloutFails:       "rollout_fails",
 }
 
 func (c CounterID) String() string {

@@ -1,0 +1,125 @@
+package workload
+
+// The vulnerable service variant: the same request-driven server shape
+// as Service.Program, but the reply path carries the classic
+// attacker-controlled-length overread (CVE-2014-0160's shape — a
+// length field trusted straight into a heap read). It exists for the
+// live-rollout evaluation: the serve front-end runs one instance per
+// request, a crafted request faults a defended tenant, the offline
+// pipeline re-analyzes the crashing input, and the resulting overflow
+// patch is rolled out with no restart.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"heaptherapy/internal/prog"
+)
+
+// secretSize is the session buffer's allocation size. It matches no
+// particular server; it only needs to hold the secret and sit directly
+// above the reply buffer so an overread can reach it.
+const secretSize = 64
+
+// leakSlack is how far past the reply buffer a leaking request reads:
+// enough to cross the allocator's chunk header into the session
+// buffer, small enough to stay inside the mapped arena.
+const leakSlack = 256
+
+// crashLen is the reply length of a crashing request: the maximum a
+// 2-byte length field encodes, far past the arena's high-water mark,
+// so the read runs off the mapping — a wild fault, not a contained
+// one.
+const crashLen = 0xFFFF
+
+// Secret returns the per-service session secret the vulnerable
+// program keeps on the heap next to its reply buffer.
+func (s *Service) Secret() []byte {
+	return []byte(fmt.Sprintf("%s-session-key=hunter2", s.Name))
+}
+
+// Request encodes a service request asking for n reply bytes: the
+// 2-byte little-endian length field the vulnerable handler trusts.
+func Request(n uint64) []byte {
+	if n > crashLen {
+		n = crashLen
+	}
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], uint16(n))
+	return b[:]
+}
+
+// BenignRequest reads exactly the reply buffer — the legitimate
+// traffic shape.
+func (s *Service) BenignRequest() []byte { return Request(s.BufSize) }
+
+// LeakRequest overreads past the reply buffer into the adjacent
+// session secret without leaving the mapped arena: natively it leaks,
+// it never faults undefended, and under an overflow patch the guard
+// page converts it to a contained crash.
+func (s *Service) LeakRequest() []byte { return Request(s.BufSize + leakSlack) }
+
+// CrashRequest overreads off the end of the mapped arena: a wild
+// fault on an undefended or unpatched tenant — the signal that
+// triggers a live patch rollout.
+func (s *Service) CrashRequest() []byte { return Request(crashLen) }
+
+// VulnerableProgram builds the one-request handler with the unchecked
+// length field. Layout is load-bearing: the filler buffers (the
+// service's ordinary per-request churn) are allocated first, then the
+// reply buffer, then the session secret, so reply and secret are the
+// two topmost live chunks — an overread from reply crosses into the
+// secret and then off the arena. The handler frees everything on the
+// benign path; a faulting Output abandons the frees exactly as a real
+// crash abandons a request.
+func (s *Service) VulnerableProgram() (*prog.Program, error) {
+	if s.BufSize+secretSize+leakSlack >= crashLen {
+		return nil, fmt.Errorf("workload: BufSize %d too large for a 2-byte length field", s.BufSize)
+	}
+	fillers := s.AllocsPerRequest - 2 // reply and session are the other two
+	if fillers < 0 {
+		fillers = 0
+	}
+
+	handler := []prog.Stmt{}
+	for i := 0; i < fillers; i++ {
+		v := fmt.Sprintf("b%d", i)
+		handler = append(handler,
+			prog.Alloc{Dst: v, Size: prog.C(s.BufSize / 2)},
+			prog.Store{Base: prog.V(v), Src: prog.C(0x7E9), N: prog.C(8)},
+		)
+	}
+	handler = append(handler,
+		prog.Alloc{Dst: "reply", Size: prog.C(s.BufSize)},
+		prog.Alloc{Dst: "session", Size: prog.C(secretSize)},
+		prog.StoreBytes{Base: prog.V("session"), Data: s.Secret()},
+		prog.Memset{Dst: prog.V("reply"), B: prog.C('.'), N: prog.C(s.BufSize)},
+		// The service's per-request compute, so defended throughput
+		// numbers mean something.
+		prog.Assign{Dst: "w", E: prog.C(0)},
+		prog.While{Cond: prog.Lt(prog.V("w"), prog.C(s.ComputePerRequest)), Body: []prog.Stmt{
+			prog.Assign{Dst: "acc", E: prog.Add(prog.V("w"), prog.V("w"))},
+			prog.Assign{Dst: "w", E: prog.Add(prog.V("w"), prog.C(1))},
+		}},
+		prog.ReadInput{Dst: "len", N: prog.C(2)},
+		// The bug: len is attacker-controlled and unchecked.
+		prog.Output{Base: prog.V("reply"), N: prog.V("len")},
+		prog.FreeStmt{Ptr: prog.V("session")},
+		prog.FreeStmt{Ptr: prog.V("reply")},
+	)
+	for i := 0; i < fillers; i++ {
+		handler = append(handler, prog.FreeStmt{Ptr: prog.V(fmt.Sprintf("b%d", i))})
+	}
+
+	p := &prog.Program{
+		Name: fmt.Sprintf("%s-vulnerable", s.Name),
+		Funcs: map[string]*prog.Func{
+			"main":   {Body: []prog.Stmt{prog.Call{Callee: "handle"}}},
+			"handle": {Body: handler},
+		},
+	}
+	if err := prog.Link(p); err != nil {
+		return nil, fmt.Errorf("workload: linking vulnerable %s: %w", s.Name, err)
+	}
+	return p, nil
+}

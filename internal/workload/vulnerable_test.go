@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"heaptherapy/internal/analysis"
+	"heaptherapy/internal/defense"
+	"heaptherapy/internal/encoding"
+	"heaptherapy/internal/mem"
+	"heaptherapy/internal/patch"
+	"heaptherapy/internal/prog"
+)
+
+func vulnCoder(t *testing.T, p *prog.Program) *encoding.Coder {
+	t.Helper()
+	plan, err := encoding.NewPlan(encoding.SchemeIncremental, p.Graph(), p.Targets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coder, err := encoding.NewCoder(encoding.EncoderPCC, p.Graph(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coder
+}
+
+func runNative(t *testing.T, p *prog.Program, coder *encoding.Coder, input []byte) *prog.Result {
+	t.Helper()
+	space, err := mem.NewSpace(mem.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := prog.NewNativeBackend(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := prog.New(p, prog.Config{Backend: nb, Coder: coder})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := it.Run(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestVulnerableProgramNative pins the undefended behaviour of every
+// request class: benign replies are clean, the leak request exfiltrates
+// the adjacent session secret without faulting, and the crash request
+// runs off the mapping — a wild fault, not a guard-page hit.
+func TestVulnerableProgramNative(t *testing.T) {
+	for _, svc := range []*Service{Nginx(), MySQL()} {
+		t.Run(svc.Name, func(t *testing.T) {
+			p, err := svc.VulnerableProgram()
+			if err != nil {
+				t.Fatal(err)
+			}
+			coder := vulnCoder(t, p)
+
+			benign := runNative(t, p, coder, svc.BenignRequest())
+			if benign.Crashed() {
+				t.Fatalf("benign request crashed: %v", benign.Fault)
+			}
+			if uint64(len(benign.Output)) != svc.BufSize {
+				t.Errorf("benign reply %d bytes, want %d", len(benign.Output), svc.BufSize)
+			}
+			if bytes.Contains(benign.Output, svc.Secret()) {
+				t.Error("benign reply contains the secret")
+			}
+
+			leak := runNative(t, p, coder, svc.LeakRequest())
+			if leak.Crashed() {
+				t.Fatalf("leak request crashed natively: %v", leak.Fault)
+			}
+			if !bytes.Contains(leak.Output, svc.Secret()) {
+				t.Error("leak request did not exfiltrate the secret")
+			}
+
+			crash := runNative(t, p, coder, svc.CrashRequest())
+			if !crash.Crashed() {
+				t.Fatal("crash request did not fault natively")
+			}
+		})
+	}
+}
+
+// TestVulnerablePatchCycle is the offline half of the rollout story:
+// re-analyzing the CRASHING input (the one a live server actually
+// captures) yields an overflow patch for the reply buffer, and a
+// defended run under that patch converts both attacks to contained
+// guard-page hits while leaving benign traffic byte-identical.
+func TestVulnerablePatchCycle(t *testing.T) {
+	svc := Nginx()
+	p, err := svc.VulnerableProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	coder := vulnCoder(t, p)
+
+	a := &analysis.Analyzer{Coder: coder}
+	rep, err := a.Analyze(p, svc.CrashRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Patches.Len() == 0 {
+		t.Fatalf("crash input produced no patches; warnings: %v", rep.Warnings)
+	}
+	overflow := false
+	for _, pt := range rep.Patches.Patches() {
+		if pt.Types&patch.TypeOverflow != 0 {
+			overflow = true
+		}
+	}
+	if !overflow {
+		t.Fatalf("no overflow patch in %v", rep.Patches.Patches())
+	}
+
+	table := defense.SealTable(rep.Patches)
+	runDefended := func(input []byte) *prog.Result {
+		t.Helper()
+		space, err := mem.NewSpace(mem.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := defense.NewBackend(space, defense.Config{SharedTable: table})
+		if err != nil {
+			t.Fatal(err)
+		}
+		it, err := prog.New(p, prog.Config{Backend: b, Coder: coder})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := it.Run(input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Crashed() {
+			// Classify: a contained crash faults on a guard page
+			// (ProtNone), a wild one runs off the mapping.
+			f, ok := mem.AsFault(res.Fault)
+			if !ok {
+				t.Fatalf("crash with a non-fault error: %v", res.Fault)
+			}
+			if prot, err := space.ProtAt(f.Addr); err != nil || prot != mem.ProtNone {
+				t.Fatalf("defended fault at %#x not on a guard page (prot %v, err %v)", f.Addr, prot, err)
+			}
+		}
+		return res
+	}
+
+	if res := runDefended(svc.CrashRequest()); !res.Crashed() {
+		t.Error("patched crash request did not hit the guard page")
+	}
+	// The small overread lands in the chunk's page-granularity pad:
+	// depending on alignment it is either contained by the guard page
+	// or reads harmless pad bytes — never the secret (the guarded
+	// chunk relocated it away from the reply buffer).
+	if res := runDefended(svc.LeakRequest()); bytes.Contains(res.Output, svc.Secret()) {
+		t.Error("patched leak request still exfiltrated the secret")
+	}
+
+	benign := runDefended(svc.BenignRequest())
+	if benign.Crashed() {
+		t.Fatalf("patched benign request crashed: %v", benign.Fault)
+	}
+	native := runNative(t, p, coder, svc.BenignRequest())
+	if !bytes.Equal(benign.Output, native.Output) {
+		t.Error("patched benign reply differs from native")
+	}
+}
