@@ -12,7 +12,7 @@ RACE_PKGS := ./internal/defense/ ./internal/prog/ ./internal/fleet/ ./internal/s
 COVER_GATE_PKGS := ./internal/heapsim/ ./internal/campaign/ ./internal/defense/ ./internal/shadow/ ./internal/mem/ ./internal/telemetry/ ./internal/fleet/ ./internal/serve/
 COVER_MIN := 80
 
-.PHONY: all build test race vet fmt-check bench bench-json bench-campaign bench-campaign-json bench-fleet bench-serve bench-serve-json bench-vm bench-compiled bench-encoding bench-smoke bench-telemetry check cover corpus fuzz-smoke
+.PHONY: all build test race vet fmt-check bench bench-json bench-campaign bench-campaign-json bench-fleet bench-policy bench-policy-json bench-serve bench-serve-json bench-vm bench-compiled bench-encoding bench-smoke bench-telemetry check cover corpus fuzz-smoke
 
 all: check
 
@@ -98,6 +98,20 @@ bench-campaign:
 
 bench-campaign-json:
 	$(GO) run ./cmd/htp-bench -exp campaign -json
+
+# Defense-policy head-to-head: the cross-family differential suite
+# (containment matrix, honest expected misses, benign bit-identity,
+# the policy fuzz target's seed corpus), then the policy matrix
+# experiment — per-family containment rate, benign cycle overhead,
+# and memory footprint against the native baseline (record with:
+# make bench-policy-json, fold into BENCH_$(shell date +%F).json).
+bench-policy:
+	$(GO) test -run 'PolicyContainmentMatrix|PolicyExpectedMisses|PolicyEquivalence|FleetPolicy|ServePolicy' -count 1 -v \
+		./internal/campaign/ ./internal/fleet/ ./internal/serve/ | grep -E '^(--- (PASS|FAIL)|ok|FAIL)'
+	$(GO) run ./cmd/htp-bench -exp policy
+
+bench-policy-json:
+	$(GO) run ./cmd/htp-bench -exp policy -json
 
 # Telemetry overhead pins: the disabled hot path must be 0 allocs/op
 # (AllocsPerRun tests in defense/mem/telemetry) and the fleet-level

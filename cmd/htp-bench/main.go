@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	htp-bench [-exp all|encoding|table2|table3|table4|fig8|fig9|services|ablation|guard|fleet|serve|campaign|telemetry|vm|tierup] [-quick] [-scale N] [-engine tree|vm|compiled] [-tierup N]
+//	htp-bench [-exp all|encoding|table2|table3|table4|fig8|fig9|services|ablation|guard|fleet|serve|campaign|telemetry|policy|vm|tierup] [-quick] [-scale N] [-engine tree|vm|compiled] [-tierup N]
 package main
 
 import (
@@ -29,7 +29,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("htp-bench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment to run: all, encoding, table2, table3, table4, fig8, fig9, services, concurrent, ablation, stackoffset, scaling, guard, fleet, serve, campaign, telemetry, vm, tierup")
+	exp := fs.String("exp", "all", "experiment to run: all, encoding, table2, table3, table4, fig8, fig9, services, concurrent, ablation, stackoffset, scaling, guard, fleet, serve, campaign, telemetry, policy, vm, tierup")
 	quick := fs.Bool("quick", false, "trim sweeps for a fast run")
 	scale := fs.Uint64("scale", 0, "divisor for Table IV allocation counts (default 10000)")
 	jsonOut := fs.Bool("json", false, "emit per-experiment wall time and allocations as JSON instead of rendered tables")
@@ -55,6 +55,7 @@ func run(args []string) error {
 	var tierUpResult *experiments.TierUpComparisonResult
 	var campaignResult *experiments.CampaignThroughputResult
 	var serveResult *experiments.ServeThroughputResult
+	var policyResult *experiments.PolicyMatrixResult
 	wrap := func(f func(experiments.Config) (interface{ Render() string }, error)) func() (fmt.Stringer, error) {
 		return func() (fmt.Stringer, error) {
 			r, err := f(cfg)
@@ -116,6 +117,13 @@ func run(args []string) error {
 			r, err := experiments.CampaignThroughput(c)
 			if err == nil {
 				campaignResult = r
+			}
+			return r, err
+		})},
+		{"policy", wrap(func(c experiments.Config) (interface{ Render() string }, error) {
+			r, err := experiments.PolicyMatrix(c)
+			if err == nil {
+				policyResult = r
 			}
 			return r, err
 		})},
@@ -197,6 +205,14 @@ func run(args []string) error {
 					"swap_p50_ns":      float64(serveResult.SwapP50.Nanoseconds()),
 					"swap_p99_ns":      float64(serveResult.SwapP99.Nanoseconds()),
 					"swaps":            float64(serveResult.SwapCount),
+				}
+			}
+			if r.name == "policy" && policyResult != nil {
+				br.Detail = map[string]float64{}
+				for _, row := range policyResult.Rows {
+					br.Detail[row.Family+"_contained_rate"] = row.ObservedRate
+					br.Detail[row.Family+"_cycles_overhead_pct"] = row.OverheadPct
+					br.Detail[row.Family+"_mem_overhead_pct"] = row.MemOverheadPct
 				}
 			}
 			if r.name == "campaign" && campaignResult != nil {

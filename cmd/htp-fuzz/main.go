@@ -15,6 +15,7 @@
 //	htp-fuzz -guided                        # bias scheduling toward failing kinds
 //	htp-fuzz -start 5000 -seeds 100 -json   # JSON report on stdout
 //	htp-fuzz -kinds uaf-read,double-free    # restrict vulnerability kinds
+//	htp-fuzz -policy all                    # defended cells under every policy family
 //	htp-fuzz -reduce                        # minimize any failing program
 //	htp-fuzz -forensics out/                # write per-seed forensic bundles
 //	htp-fuzz -emit-corpus testdata/campaign -seeds 20
@@ -33,6 +34,7 @@ import (
 	"sync"
 
 	"heaptherapy/internal/campaign"
+	"heaptherapy/internal/defense"
 	"heaptherapy/internal/prog"
 )
 
@@ -51,6 +53,7 @@ type report struct {
 	Kinds     []string `json:"kinds"`
 	Engines   []string `json:"engines"`
 	Allocs    []string `json:"allocators"`
+	Policies  []string `json:"policies"`
 
 	Cases    int                    `json:"cases"`
 	ByKind   map[string]int         `json:"by_kind"`
@@ -84,6 +87,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		kindsFlag  = fs.String("kinds", "", "comma-separated vulnerability kinds (default: all)")
 		engines    = fs.String("engines", "", "comma-separated engines: tree,vm,compiled (default: all)")
 		allocs     = fs.String("allocators", "", "comma-separated allocators: heap,pool (default: all)")
+		policies   = fs.String("policy", "", `comma-separated defense policy families: ht,shadowbound,mesh, or "all" (default: ht)`)
 		workers    = fs.Int("workers", 0, "parallel oracle workbenches (0 = GOMAXPROCS)")
 		shardSize  = fs.Int("shard-size", 0, "seeds per work-stealing shard (0 = auto)")
 		guided     = fs.Bool("guided", false, "bias shard scheduling toward vulnerability kinds that produced failures")
@@ -130,6 +134,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 			default:
 				fmt.Fprintf(stderr, "unknown allocator %q (want heap or pool)\n", name)
 				return 2
+			}
+		}
+	}
+
+	if *policies != "" {
+		if strings.EqualFold(strings.TrimSpace(*policies), "all") {
+			oracle.Policies = defense.AllFamilies()
+		} else {
+			for _, name := range strings.Split(*policies, ",") {
+				f, err := defense.ParseFamily(name)
+				if err != nil {
+					fmt.Fprintln(stderr, err)
+					return 2
+				}
+				oracle.Policies = append(oracle.Policies, f)
 			}
 		}
 	}
@@ -210,6 +229,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for _, a := range oracleAllocs(oracle) {
 		rep.Allocs = append(rep.Allocs, a.String())
 	}
+	for _, p := range oraclePolicies(oracle) {
+		rep.Policies = append(rep.Policies, p.String())
+	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
@@ -241,6 +263,13 @@ func oracleAllocs(o campaign.Oracle) []campaign.AllocKind {
 	return campaign.AllAllocators()
 }
 
+func oraclePolicies(o campaign.Oracle) []defense.Family {
+	if len(o.Policies) > 0 {
+		return o.Policies
+	}
+	return []defense.Family{defense.FamilyHT}
+}
+
 func summarize(w io.Writer, rep *report) {
 	fmt.Fprintf(w, "htp-fuzz: %d cases (seeds %d..%d) in %dms — %.1f seeds/sec, %d workers (shard %d",
 		rep.Cases, rep.Start, rep.Start+rep.Seeds-1, rep.Ms, rep.SeedsPerSec, rep.Workers, rep.ShardSize)
@@ -248,6 +277,9 @@ func summarize(w io.Writer, rep *report) {
 		fmt.Fprint(w, ", guided")
 	}
 	fmt.Fprintln(w, ")")
+	if len(rep.Policies) > 1 || (len(rep.Policies) == 1 && rep.Policies[0] != "ht") {
+		fmt.Fprintf(w, "  policies: %s\n", strings.Join(rep.Policies, ","))
+	}
 	kinds := make([]string, 0, len(rep.ByKind))
 	for k := range rep.ByKind {
 		kinds = append(kinds, k)

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"heaptherapy/internal/core"
+	"heaptherapy/internal/defense"
 	"heaptherapy/internal/encoding"
 	"heaptherapy/internal/patch"
 	"heaptherapy/internal/prog"
@@ -57,6 +58,7 @@ func run(args []string, stdout io.Writer) error {
 	encoderName := fs.String("encoder", "PCC", "calling-context encoder; must match the one htp-patchgen used")
 	engineName := fs.String("engine", "tree", "execution engine: tree (reference interpreter), vm (bytecode), or compiled (tier-up closures)")
 	tierUp := fs.Uint64("tierup", 0, "compiled-engine promotion threshold in calls (0 = default)")
+	policyName := fs.String("policy", "ht", "defense policy family for defended runs: ht, shadowbound, or mesh")
 	telemetryFmt := fs.String("telemetry", "", `append a telemetry report after the run: "table" or "json"`)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -122,13 +124,17 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	sys, err := core.NewSystem(program, core.Options{Encoder: encKind, Engine: engine, TierUp: *tierUp, Telemetry: tcol})
+	family, err := defense.ParseFamily(*policyName)
+	if err != nil {
+		return err
+	}
+	sys, err := core.NewSystem(program, core.Options{Encoder: encKind, Engine: engine, TierUp: *tierUp, Family: family, Telemetry: tcol})
 	if err != nil {
 		return err
 	}
 	c := caseOracle{oracle: oracle}
 
-	if *patchFile == "" {
+	if *patchFile == "" && family == defense.FamilyHT {
 		res, err := sys.RunNative(input)
 		if err != nil {
 			return err
@@ -138,16 +144,22 @@ func run(args []string, stdout io.Writer) error {
 		return printTelemetry(stdout, tcol, *telemetryFmt)
 	}
 
-	f, err := os.Open(*patchFile)
-	if err != nil {
-		return fmt.Errorf("opening patches: %w", err)
-	}
-	patches, perr := patch.ReadConfig(f)
-	if cerr := f.Close(); cerr != nil && perr == nil {
-		perr = cerr
-	}
-	if perr != nil {
-		return fmt.Errorf("loading patches: %w", perr)
+	// A non-HT policy defends every allocation and needs no patch
+	// configuration; -patches remains optional for those families.
+	patches := patch.NewSet()
+	if *patchFile != "" {
+		f, err := os.Open(*patchFile)
+		if err != nil {
+			return fmt.Errorf("opening patches: %w", err)
+		}
+		var perr error
+		patches, perr = patch.ReadConfig(f)
+		if cerr := f.Close(); cerr != nil && perr == nil {
+			perr = cerr
+		}
+		if perr != nil {
+			return fmt.Errorf("loading patches: %w", perr)
+		}
 	}
 
 	if *threads > 1 {
@@ -159,8 +171,8 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "mode: defended, %d threads sharing one heap (%d patches loaded)\n",
-			*threads, patches.Len())
+		fmt.Fprintf(stdout, "mode: defended [%s], %d threads sharing one heap (%d patches loaded)\n",
+			family, *threads, patches.Len())
 		succeeded := 0
 		for i, res := range results {
 			if c.Success(res) {
@@ -178,7 +190,7 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "mode: defended (%d patches loaded)\n", patches.Len())
+	fmt.Fprintf(stdout, "mode: defended [%s] (%d patches loaded)\n", family, patches.Len())
 	printResult(stdout, run.Result.Crashed(), run.Result.Fault, run.Result.Output, c, run.Result)
 	st := run.Stats
 	fmt.Fprintf(stdout, "defense: %d allocs intercepted, %d recognized vulnerable, %d guard pages, %d zero fills, %d deferred frees\n",

@@ -26,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"heaptherapy/internal/defense"
 	"heaptherapy/internal/patch"
 	"heaptherapy/internal/prog"
 	"heaptherapy/internal/serve"
@@ -57,6 +58,7 @@ func run(args []string, stdout io.Writer) error {
 	serviceName := fs.String("service", "nginx", "vulnerable service stand-in: nginx or mysql")
 	engineName := fs.String("engine", "tree", "execution engine: tree, vm, or compiled")
 	tierUp := fs.Uint64("tierup", 0, "compiled-engine promotion threshold in calls (0 = default)")
+	policyName := fs.String("policy", "ht", "defense policy family for every tenant: ht, shadowbound, or mesh")
 	workers := fs.Int("workers", 4, "worker goroutines, one defended tenant context each")
 	maxInFlight := fs.Int("max-in-flight", 0, "admission bound before 429s (0 = 4*workers)")
 	quota := fs.Int("tenant-quota", 0, "one tenant's share of max-in-flight (0 = no isolation)")
@@ -82,6 +84,10 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	engine, err := prog.ParseEngine(*engineName)
+	if err != nil {
+		return err
+	}
+	family, err := defense.ParseFamily(*policyName)
 	if err != nil {
 		return err
 	}
@@ -125,17 +131,18 @@ func run(args []string, stdout io.Writer) error {
 		Patches:      patches,
 		Engine:       engine,
 		TierUp:       *tierUp,
+		Family:       family,
 		Telemetry:    tcol,
 	})
 	if err != nil {
 		return err
 	}
 
-	fmt.Fprintf(stdout, "htp-serve: %s | engine %s | workers %d | max in-flight %d | tenant quota %d | initial patches %d\n",
-		program.Name, engine, *workers, *maxInFlight, *quota, patches.Len())
+	fmt.Fprintf(stdout, "htp-serve: %s | engine %s | policy %s | workers %d | max in-flight %d | tenant quota %d | initial patches %d\n",
+		program.Name, engine, family, *workers, *maxInFlight, *quota, patches.Len())
 
 	if *demo {
-		return runDemo(s, svc, stdout)
+		return runDemo(s, svc, family, stdout)
 	}
 	return serveLive(s, *addr, stdout)
 }
@@ -180,7 +187,7 @@ func serveLive(s *serve.Server, addr string, stdout io.Writer) error {
 // traffic, the attack escaping an unpatched fleet, the live rollout,
 // the contained replay, traffic continuing, the /metrics document, and
 // the drain. This is the golden-testable face of the E2E story.
-func runDemo(s *serve.Server, svc *workload.Service, stdout io.Writer) error {
+func runDemo(s *serve.Server, svc *workload.Service, family defense.Family, stdout io.Writer) error {
 	h := s.Handler()
 	do := func(method, path string, body []byte) *httptest.ResponseRecorder {
 		req := httptest.NewRequest(method, path, bytes.NewReader(body))
@@ -230,8 +237,14 @@ func runDemo(s *serve.Server, svc *workload.Service, stdout io.Writer) error {
 	}
 
 	rr = do("POST", "/request?tenant=attacker", svc.CrashRequest())
-	fmt.Fprintf(stdout, "[4] attack replay: %s (HTTP %d) — guard page absorbed the overflow\n",
-		rr.Result().Header.Get("X-HTP-Outcome"), rr.Code)
+	replay := rr.Result().Header.Get("X-HTP-Outcome")
+	note := "guard page absorbed the overflow"
+	if replay != serve.OutcomeContained {
+		note = "the " + family.String() + " policy does not contain this kind"
+	} else if family != defense.FamilyHT {
+		note = "the " + family.String() + " policy contained it without patches"
+	}
+	fmt.Fprintf(stdout, "[4] attack replay: %s (HTTP %d) — %s\n", replay, rr.Code, note)
 
 	ok, epoch = benignWave()
 	fmt.Fprintf(stdout, "[5] benign x%d: %d ok, epoch %s — traffic never stopped\n", demoBenign, ok, epoch)

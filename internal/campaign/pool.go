@@ -42,9 +42,18 @@ type Workbench struct {
 	shadowSpace *mem.Space
 	shadowBack  *shadow.Backend
 
-	// Native and defended substrate, one per allocator kind.
+	// Native substrate, one per allocator kind; defended substrate,
+	// one per (allocator kind, policy family) pair — a family's
+	// Defender carries family-private state (the bounds index, the
+	// blanket quarantine), so benches are never shared across policies.
 	native   [2]*nativeBench
-	defended [2]*defendedBench
+	defended map[defendedKey]*defendedBench
+}
+
+// defendedKey identifies one defended bench class.
+type defendedKey struct {
+	alloc  AllocKind
+	policy defense.Family
 }
 
 // nativeBench is the pooled substrate of one native cell class.
@@ -71,7 +80,7 @@ type defendedBench struct {
 // lazily on first use, so a workbench for a trimmed matrix (fewer
 // engines or allocators) only ever materializes what it runs.
 func NewWorkbench(o Oracle) *Workbench {
-	return &Workbench{oracle: o.withDefaults()}
+	return &Workbench{oracle: o.withDefaults(), defended: map[defendedKey]*defendedBench{}}
 }
 
 // Check runs the full matrix for one generated case, producing a
@@ -131,7 +140,10 @@ func (w *Workbench) Check(g *Generated) *Report {
 				rep.Outcomes = append(rep.Outcomes, w.runPooledCell(g, coder, compiled, cell, nil))
 				if patches != nil {
 					cell.Mode = ModeDefended
-					rep.Outcomes = append(rep.Outcomes, w.runPooledCell(g, coder, compiled, cell, patches))
+					for _, pol := range o.Policies {
+						cell.Policy = pol
+						rep.Outcomes = append(rep.Outcomes, w.runPooledCell(g, coder, compiled, cell, patches))
+					}
 				}
 			}
 		}
@@ -229,7 +241,7 @@ func (w *Workbench) runPooledCell(g *Generated, coder *encoding.Coder, compiled 
 		tcol    *telemetry.Collector
 	)
 	if cell.Mode == ModeDefended {
-		db, err := w.defendedFor(cell.Alloc, patches)
+		db, err := w.defendedFor(cell.Alloc, cell.Policy, patches)
 		if err != nil {
 			return fail(err)
 		}
@@ -315,16 +327,18 @@ func (w *Workbench) nativeFor(alloc AllocKind) (*nativeBench, error) {
 	return nb, nil
 }
 
-// defendedFor returns the defended substrate for alloc armed with this
-// seed's patches. Construction order matches Oracle.runCell: on the
-// boundary-tag heap the defender maps its patch table before the heap
-// arena, and on the pool the table still maps first because the pool
-// carves runs lazily. ResetPatches replays exactly that order after
-// every space reset, which is what keeps pooled addresses — and
-// therefore whole-cell signatures — bit-identical to fresh
-// construction even though each seed loads a different patch set.
-func (w *Workbench) defendedFor(alloc AllocKind, patches *patch.Set) (*defendedBench, error) {
-	if db := w.defended[alloc]; db != nil {
+// defendedFor returns the defended substrate for (alloc, policy) armed
+// with this seed's patches. Construction order matches Oracle.runCell:
+// on the boundary-tag heap the defender maps its patch table before
+// the heap arena, and on the pool the table still maps first because
+// the pool carves runs lazily. ResetPatches replays exactly that order
+// after every space reset — and runs the policy's own reset hook — so
+// pooled addresses and whole-cell signatures stay bit-identical to
+// fresh construction even though each seed loads a different patch
+// set.
+func (w *Workbench) defendedFor(alloc AllocKind, policy defense.Family, patches *patch.Set) (*defendedBench, error) {
+	key := defendedKey{alloc: alloc, policy: policy}
+	if db := w.defended[key]; db != nil {
 		db.space.Reset()
 		db.tcol.Reset()
 		if err := db.back.ResetPatches(patches); err != nil {
@@ -344,7 +358,7 @@ func (w *Workbench) defendedFor(alloc AllocKind, patches *patch.Set) (*defendedB
 	space.SetTelemetry(tel)
 	db := &defendedBench{space: space, tcol: tcol, tel: tel}
 	if alloc == AllocHeap {
-		back, err := defense.NewBackend(space, defense.Config{Patches: patches, Telemetry: tel})
+		back, err := defense.NewBackend(space, defense.Config{Patches: patches, Family: policy, Telemetry: tel})
 		if err != nil {
 			return nil, err
 		}
@@ -355,12 +369,12 @@ func (w *Workbench) defendedFor(alloc AllocKind, patches *patch.Set) (*defendedB
 			return nil, err
 		}
 		pool.SetTelemetry(tel)
-		back, err := defense.NewBackendWithAllocator(space, pool, defense.Config{Patches: patches, Telemetry: tel})
+		back, err := defense.NewBackendWithAllocator(space, pool, defense.Config{Patches: patches, Family: policy, Telemetry: tel})
 		if err != nil {
 			return nil, err
 		}
 		db.back, db.under, db.pool = back, pool, pool
 	}
-	w.defended[alloc] = db
+	w.defended[key] = db
 	return db, nil
 }

@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"heaptherapy/internal/defense"
 	"heaptherapy/internal/heapsim"
 	"heaptherapy/internal/mem"
 	"heaptherapy/internal/patch"
@@ -142,7 +143,7 @@ func TestPooledSetupAllocs(t *testing.T) {
 
 	set := patch.NewSet()
 	for _, alloc := range AllAllocators() {
-		db := wb.defended[alloc]
+		db := wb.defended[defendedKey{alloc: alloc, policy: defense.FamilyHT}]
 		got := testing.AllocsPerRun(50, func() {
 			db.space.Reset()
 			db.tcol.Reset()

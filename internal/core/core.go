@@ -29,6 +29,10 @@ type Options struct {
 	Encoder encoding.EncoderKind
 	// QueueQuota bounds the online deferred-free queue (0 = default).
 	QueueQuota uint64
+	// Family selects the defense policy family for defended runs
+	// (default defense.FamilyHT). Offline analysis always runs the
+	// shadow engine and is unaffected.
+	Family defense.Family
 	// MaxSteps bounds each execution (0 = interpreter default).
 	MaxSteps uint64
 	// Engine selects the execution substrate for every pipeline stage
@@ -172,6 +176,7 @@ func (s *System) RunDefended(input []byte, patches *patch.Set) (*DefendedRun, er
 	space.SetTelemetry(tel)
 	backend, err := defense.NewBackend(space, defense.Config{
 		Mode:       defense.ModeFull,
+		Family:     s.opts.Family,
 		Patches:    patches,
 		QueueQuota: s.opts.QueueQuota,
 		Telemetry:  tel,
@@ -245,6 +250,7 @@ func (s *System) RunDefendedThreads(inputs [][]byte, patches *patch.Set) ([]*pro
 	space.SetTelemetry(tel)
 	backend, err := defense.NewBackend(space, defense.Config{
 		Mode:       defense.ModeFull,
+		Family:     s.opts.Family,
 		Patches:    patches,
 		QueueQuota: s.opts.QueueQuota,
 		Telemetry:  tel,

@@ -27,6 +27,10 @@ type Backend struct {
 	def    *Defender
 	space  *mem.Space
 	cycles uint64
+	// check is the policy's per-access hook (ShadowBound's bounds
+	// check), bound once at construction; nil for families without one
+	// — the HT fast path pays a single nil comparison.
+	check func(d *Defender, addr, n, ccid uint64) error
 }
 
 var (
@@ -40,7 +44,7 @@ func NewBackend(space *mem.Space, cfg Config) (*Backend, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Backend{def: d, space: space}, nil
+	return &Backend{def: d, space: space, check: d.ops.access}, nil
 }
 
 // Defender exposes the defense layer (for statistics).
@@ -71,9 +75,16 @@ func (b *Backend) Free(ptr, ccid uint64) error {
 	return b.def.FreeCtx(ptr, ccid)
 }
 
-// Load implements prog.HeapBackend; guard pages fault here.
+// Load implements prog.HeapBackend; guard pages fault here, and the
+// policy's access hook (when the family has one) rejects out-of-bounds
+// ranges before the space is touched.
 func (b *Backend) Load(addr, n, ccid uint64) (prog.Value, error) {
 	b.cycles += prog.CycMemOp + n/prog.CycBytesPerCycle
+	if b.check != nil {
+		if err := b.check(b.def, addr, n, ccid); err != nil {
+			return prog.Value{}, err
+		}
+	}
 	data, err := b.space.Read(addr, n)
 	if err != nil {
 		b.def.noteAccessFault(err, ccid)
@@ -86,6 +97,11 @@ func (b *Backend) Load(addr, n, ccid uint64) (prog.Value, error) {
 // guard pages fault here exactly as in Load.
 func (b *Backend) LoadInto(dst *prog.Value, addr, n, ccid uint64) error {
 	b.cycles += prog.CycMemOp + n/prog.CycBytesPerCycle
+	if b.check != nil {
+		if err := b.check(b.def, addr, n, ccid); err != nil {
+			return err
+		}
+	}
 	if uint64(cap(dst.Bytes)) >= n {
 		dst.Bytes = dst.Bytes[:n]
 	} else {
@@ -101,6 +117,11 @@ func (b *Backend) LoadInto(dst *prog.Value, addr, n, ccid uint64) error {
 // Store implements prog.HeapBackend; guard pages fault here.
 func (b *Backend) Store(addr uint64, v prog.Value, ccid uint64) error {
 	b.cycles += prog.CycMemOp + uint64(len(v.Bytes))/prog.CycBytesPerCycle
+	if b.check != nil {
+		if err := b.check(b.def, addr, uint64(len(v.Bytes)), ccid); err != nil {
+			return err
+		}
+	}
 	err := b.space.Write(addr, v.Bytes)
 	b.def.noteAccessFault(err, ccid)
 	return err
@@ -109,6 +130,14 @@ func (b *Backend) Store(addr uint64, v prog.Value, ccid uint64) error {
 // Memcpy implements prog.HeapBackend.
 func (b *Backend) Memcpy(dst, src, n, ccid uint64) error {
 	b.cycles += prog.CycMemOp + n/prog.CycBytesPerCycle
+	if b.check != nil {
+		if err := b.check(b.def, src, n, ccid); err != nil {
+			return err
+		}
+		if err := b.check(b.def, dst, n, ccid); err != nil {
+			return err
+		}
+	}
 	err := b.space.Memmove(dst, src, n)
 	b.def.noteAccessFault(err, ccid)
 	return err
@@ -117,6 +146,11 @@ func (b *Backend) Memcpy(dst, src, n, ccid uint64) error {
 // Memset implements prog.HeapBackend.
 func (b *Backend) Memset(addr uint64, c byte, n, ccid uint64) error {
 	b.cycles += prog.CycMemOp + n/prog.CycBytesPerCycle
+	if b.check != nil {
+		if err := b.check(b.def, addr, n, ccid); err != nil {
+			return err
+		}
+	}
 	err := b.space.Memset(addr, c, n)
 	b.def.noteAccessFault(err, ccid)
 	return err
@@ -171,5 +205,5 @@ func NewBackendWithAllocator(space *mem.Space, under heapsim.Allocator, cfg Conf
 	if err != nil {
 		return nil, err
 	}
-	return &Backend{def: d, space: space}, nil
+	return &Backend{def: d, space: space, check: d.ops.access}, nil
 }

@@ -91,8 +91,13 @@ func (m Mode) String() string {
 // Config configures the defense layer.
 type Config struct {
 	// Mode selects interposition-only or full metadata+patch operation
-	// (default ModeFull).
+	// (default ModeFull). Interposition-only measurement is exclusive
+	// to the (default) HT family.
 	Mode Mode
+	// Family selects the defense policy (default FamilyHT: the
+	// HeapTherapy+ patch-table defense). See family.go for the policy
+	// table and the per-family containment matrix.
+	Family Family
 	// Patches is the loaded configuration (nil = no patches). Ignored
 	// when SharedTable is set.
 	Patches *patch.Set
@@ -175,11 +180,16 @@ type Defender struct {
 	heap   *heapsim.Heap // set when the default allocator backs `under`
 	space  *mem.Space
 	cfg    Config
+	ops    *policyOps   // the selected family's hook table
 	table  *patchTable  // private in-space table (nil when shared is set)
 	shared *SealedTable // immutable cross-worker table (fleet runtime)
 
 	queue      []queued
 	queueBytes uint64
+
+	// bounds is the ShadowBound policy's live-object index, sorted by
+	// user address; empty for every other family.
+	bounds []boundsEntry
 
 	stats  Stats
 	cycles uint64
@@ -203,13 +213,11 @@ type Defender struct {
 // space's only growing segment (as a real constructor runs before any
 // application allocation).
 func New(space *mem.Space, cfg Config) (*Defender, error) {
-	if cfg.Mode == 0 {
-		cfg.Mode = ModeFull
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
 	}
-	if cfg.QueueQuota == 0 {
-		cfg.QueueQuota = DefaultQueueQuota
-	}
-	d := &Defender{space: space, cfg: cfg, tel: cfg.Telemetry}
+	d := &Defender{space: space, cfg: cfg, ops: &policies[cfg.Family], tel: cfg.Telemetry}
 	if err := d.initTable(); err != nil {
 		return nil, err
 	}
@@ -261,17 +269,33 @@ func (d *Defender) initTable() error {
 // internals. The allocator must be backed by the same space (for guard
 // pages and the patch table).
 func NewWithAllocator(space *mem.Space, under heapsim.Allocator, cfg Config) (*Defender, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	d := &Defender{space: space, cfg: cfg, ops: &policies[cfg.Family], under: under, tel: cfg.Telemetry}
+	if err := d.initTable(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// withDefaults resolves the configuration and validates the family
+// selection.
+func (cfg Config) withDefaults() (Config, error) {
 	if cfg.Mode == 0 {
 		cfg.Mode = ModeFull
 	}
 	if cfg.QueueQuota == 0 {
 		cfg.QueueQuota = DefaultQueueQuota
 	}
-	d := &Defender{space: space, cfg: cfg, under: under, tel: cfg.Telemetry}
-	if err := d.initTable(); err != nil {
-		return nil, err
+	if cfg.Family >= numFamilies {
+		return cfg, fmt.Errorf("defense: unknown policy family %d", cfg.Family)
 	}
-	return d, nil
+	if cfg.Family != FamilyHT && cfg.Mode == ModeInterpose {
+		return cfg, fmt.Errorf("defense: interposition-only mode is exclusive to the %v policy (got %v)", FamilyHT, cfg.Family)
+	}
+	return cfg, nil
 }
 
 // PatchTableWritable reports whether the loaded patch table's pages
@@ -297,6 +321,9 @@ func (d *Defender) Stats() Stats {
 
 // Telemetry returns the attached telemetry scope (nil when disabled).
 func (d *Defender) Telemetry() *telemetry.Scope { return d.tel }
+
+// Family returns the defense policy family this Defender runs.
+func (d *Defender) Family() Family { return d.cfg.Family }
 
 // PatchHits returns this Defender's per-patch allocation hit counts:
 // how many allocations matched each installed {FUN, CCID} key. It is
@@ -356,14 +383,18 @@ func (d *Defender) Memalign(ccid, align, size uint64) (uint64, error) {
 	return d.allocate(heapsim.FnMemalign, ccid, size, align, false)
 }
 
-// allocate is the interposition entry point for all allocation APIs.
+// allocate is the interposition entry point for all allocation APIs:
+// the bookkeeping every family shares (statistics, the underlying
+// allocator's base cost, the interposition hop, the size ceiling),
+// then the selected policy's allocation hook.
 func (d *Defender) allocate(fn heapsim.AllocFn, ccid, size, align uint64, isRealloc bool) (uint64, error) {
 	d.stats.Allocs++
 	// The underlying allocator's own work plus the interposition hop.
 	d.cycles += cycUnderlyingAlloc + cycInterpose
 
 	if d.cfg.Mode == ModeInterpose {
-		// Forward-only: measure pure interposition cost.
+		// Forward-only: measure pure interposition cost (HT-only; the
+		// other families reject this mode at construction).
 		switch fn {
 		case heapsim.FnCalloc:
 			return d.under.Calloc(1, size)
@@ -377,7 +408,13 @@ func (d *Defender) allocate(fn heapsim.AllocFn, ccid, size, align uint64, isReal
 	if size >= 1<<sizeBits {
 		return 0, fmt.Errorf("%w: %d", heapsim.ErrBadSize, size)
 	}
+	return d.ops.allocate(d, fn, ccid, size, align, isRealloc)
+}
 
+// htAllocate is the HeapTherapy+ allocation hook: patch-table lookup
+// on every allocation, then the S1–S4 structure the patch verdict
+// selects.
+func htAllocate(d *Defender, fn heapsim.AllocFn, ccid, size, align uint64, isRealloc bool) (uint64, error) {
 	// O(1) patch lookup on every allocation.
 	lookupFn := fn
 	if isRealloc {
@@ -647,6 +684,14 @@ func (d *Defender) FreeCtx(user, ccid uint64) error {
 	if d.cfg.Mode == ModeInterpose {
 		return d.under.Free(user)
 	}
+	return d.ops.free(d, user, ccid)
+}
+
+// htFree is the HeapTherapy+ free hook, following the Figure 7
+// protocol: decode the metadata word (unprotecting any guard), then
+// defer UAF-patched blocks through the quarantine or forward to the
+// real free.
+func htFree(d *Defender, user, ccid uint64) error {
 	d.cycles += cycMetadata // decode the metadata word, recover pi
 	mi, err := d.decodeMeta(user)
 	if err != nil {
@@ -657,34 +702,40 @@ func (d *Defender) FreeCtx(user, ccid uint64) error {
 		return err
 	}
 	if mi.types&bitUAF != 0 {
-		// Defer reuse: park the block in the FIFO queue. Mark the
-		// metadata so a double free is caught.
-		if err := d.space.RawStore64(user-metaSize, freedSentinel|mi.types); err != nil {
-			return fmt.Errorf("defense: marking deferred block: %w", err)
-		}
-		d.queue = append(d.queue, queued{base: mi.base, user: user, size: mi.size})
-		d.queueBytes += mi.size
-		d.stats.DeferredFrees++
-		d.tel.Inc(telemetry.CtrDeferredFrees)
-		d.cycles += cycQueue
-		for d.queueBytes > d.cfg.QueueQuota && len(d.queue) > 0 {
-			old := d.queue[0]
-			d.queue = d.queue[1:]
-			d.queueBytes -= old.size
-			d.stats.QueueEvictions++
-			if d.tel != nil {
-				// The quota forced this block back into circulation: the
-				// quarantine refused to keep holding it.
-				d.tel.Inc(telemetry.CtrQuarantineRefusals)
-				d.tel.Event(telemetry.EvQuarantineRefusal, ccid, old.user, old.size)
-			}
-			if err := d.under.Free(old.base); err != nil {
-				return fmt.Errorf("defense: releasing deferred block: %w", err)
-			}
-		}
-		return nil
+		return d.deferFree(mi, user, ccid)
 	}
 	return d.under.Free(mi.base)
+}
+
+// deferFree parks a decoded block in the FIFO quarantine: the metadata
+// word is marked so a double free is caught while the block is held,
+// and the quota evicts the oldest entries back to the real allocator.
+// Shared by HT (UAF-patched buffers only) and MESH (every free).
+func (d *Defender) deferFree(mi metaInfo, user, ccid uint64) error {
+	if err := d.space.RawStore64(user-metaSize, freedSentinel|mi.types); err != nil {
+		return fmt.Errorf("defense: marking deferred block: %w", err)
+	}
+	d.queue = append(d.queue, queued{base: mi.base, user: user, size: mi.size})
+	d.queueBytes += mi.size
+	d.stats.DeferredFrees++
+	d.tel.Inc(telemetry.CtrDeferredFrees)
+	d.cycles += cycQueue
+	for d.queueBytes > d.cfg.QueueQuota && len(d.queue) > 0 {
+		old := d.queue[0]
+		d.queue = d.queue[1:]
+		d.queueBytes -= old.size
+		d.stats.QueueEvictions++
+		if d.tel != nil {
+			// The quota forced this block back into circulation: the
+			// quarantine refused to keep holding it.
+			d.tel.Inc(telemetry.CtrQuarantineRefusals)
+			d.tel.Event(telemetry.EvQuarantineRefusal, ccid, old.user, old.size)
+		}
+		if err := d.under.Free(old.base); err != nil {
+			return fmt.Errorf("defense: releasing deferred block: %w", err)
+		}
+	}
+	return nil
 }
 
 // Realloc resizes a defended buffer. Per Section V, the buffer's CCID
@@ -700,6 +751,13 @@ func (d *Defender) Realloc(ccid, user, size uint64) (uint64, error) {
 		d.cycles += cycUnderlyingAlloc + cycInterpose
 		return d.under.Realloc(user, size)
 	}
+	return d.ops.realloc(d, ccid, user, size)
+}
+
+// htRealloc is the HeapTherapy+ realloc hook: metadata bookkeeping
+// forces the allocate-copy-free path, restoring guard protection
+// before the old buffer is freed.
+func htRealloc(d *Defender, ccid, user, size uint64) (uint64, error) {
 	mi, err := d.decodeMeta(user)
 	if err != nil {
 		return 0, err
@@ -738,6 +796,13 @@ func (d *Defender) UsableSize(user uint64) (uint64, error) {
 	if d.cfg.Mode == ModeInterpose {
 		return d.under.UsableSize(user)
 	}
+	return d.ops.usable(d, user)
+}
+
+// htUsableSize decodes the metadata word (re-protecting any guard the
+// decode unprotected). Also serves MESH, whose buffers use the same
+// guard-free metadata layout.
+func htUsableSize(d *Defender, user uint64) (uint64, error) {
 	mi, err := d.decodeMeta(user)
 	if err != nil {
 		return 0, err
@@ -801,7 +866,10 @@ func (d *Defender) SwapSharedTable(t *SealedTable) error {
 // execution they observe. Interposition-only mode has no table and
 // probes false.
 func (d *Defender) ProbePatched(fn heapsim.AllocFn, ccid uint64) bool {
-	if d.cfg.Mode != ModeFull {
+	if d.cfg.Mode != ModeFull || d.cfg.Family != FamilyHT {
+		// Only the HT policy acts on patches; the other families keep
+		// the table seams (swap, generation) for rollout plumbing but
+		// never consult the contents.
 		return false
 	}
 	key := patch.Key{Fn: fn, CCID: ccid}
@@ -832,6 +900,9 @@ func (d *Defender) Reset() error {
 	d.stats = Stats{}
 	d.cycles = 0
 	clear(d.patchHits)
+	if d.ops.reset != nil {
+		d.ops.reset(d)
+	}
 	if err := d.initTable(); err != nil {
 		return fmt.Errorf("defense: reset: %w", err)
 	}

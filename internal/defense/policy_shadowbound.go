@@ -1,0 +1,135 @@
+// The ShadowBound-style policy: per-object bounds metadata stored in
+// the word ahead of every pointer (the same S1/S3 layout HT uses for
+// unpatched buffers), plus a live-object interval index consulted on
+// every memory access through the Backend. A load, store, memcpy, or
+// memset whose byte range is not fully inside one live object faults
+// at the first offending access — before the space is touched, so an
+// out-of-bounds write never lands.
+//
+// Unlike HT, nothing is targeted: every allocation is indexed and
+// every access checked, which is the family's overhead/containment
+// trade-off (spatial violations always fault; no patch table, no
+// guard pages). Temporal safety is out of scope by design: a dangling
+// pointer into a recycled live object passes the bounds check (see
+// Family.Containment for the documented misses).
+package defense
+
+import (
+	"fmt"
+	"sort"
+
+	"heaptherapy/internal/heapsim"
+	"heaptherapy/internal/telemetry"
+)
+
+// boundsEntry is one live object in the index: its user pointer and
+// user size, kept sorted by user address.
+type boundsEntry struct {
+	user uint64
+	size uint64
+}
+
+// sbAllocate places [meta][user...] (or the aligned S3 variant),
+// records the user size in the metadata word, and inserts the object
+// into the live-interval index.
+func sbAllocate(d *Defender, fn heapsim.AllocFn, ccid, size, align uint64, isRealloc bool) (uint64, error) {
+	d.cycles += cycMetadata + cycBoundsInsert
+	aligned := align > metaSize
+	var (
+		base, user, meta uint64
+		err              error
+	)
+	if aligned {
+		base, err = d.under.Memalign(align, align+size)
+		user = base + align
+		meta = size<<typeBits | lg(align)<<(typeBits+sizeBits) | bitAligned
+	} else {
+		base, err = d.under.Malloc(metaSize + size)
+		user = base + metaSize
+		meta = size << typeBits
+	}
+	if err != nil {
+		return 0, err
+	}
+	if err := d.space.RawStore64(user-metaSize, meta); err != nil {
+		return 0, fmt.Errorf("defense: metadata store: %w", err)
+	}
+	d.boundsInsert(user, size)
+	return user, nil
+}
+
+// sbFree validates the pointer against the live index FIRST — the
+// underlying allocator recycles freed chunks' leading words for its
+// free-list links, so the metadata word of a freed block is not
+// trustworthy. A pointer with no live bounds is a double (or wild)
+// free and aborts like a hardened allocator.
+func sbFree(d *Defender, user, ccid uint64) error {
+	d.cycles += cycMetadata + cycBoundsInsert
+	if _, ok := d.boundsRemove(user); !ok {
+		d.tel.Inc(telemetry.CtrDoubleFrees)
+		d.tel.Event(telemetry.EvDoubleFree, ccid, user, 0)
+		return fmt.Errorf("%w: %#x has no live bounds", ErrDoubleFree, user)
+	}
+	mi, err := d.decodeMeta(user)
+	if err != nil {
+		return err
+	}
+	return d.under.Free(mi.base)
+}
+
+// sbUsableSize reads the size from the live index (an exact-pointer
+// probe, so a stale pointer errors instead of decoding garbage).
+func sbUsableSize(d *Defender, user uint64) (uint64, error) {
+	i := sort.Search(len(d.bounds), func(i int) bool { return d.bounds[i].user >= user })
+	if i < len(d.bounds) && d.bounds[i].user == user {
+		return d.bounds[i].size, nil
+	}
+	return 0, fmt.Errorf("defense: usable size of pointer %#x with no live bounds", user)
+}
+
+// sbAccess is the per-access hook: the byte range [addr, addr+n) must
+// fall entirely inside the one live object whose user pointer is the
+// greatest at or below addr. Everything else — overflow past an
+// object's end, underflow into its metadata word, the gaps between
+// chunks, unmapped memory — faults before the space is touched.
+func sbAccess(d *Defender, addr, n, ccid uint64) error {
+	if n == 0 {
+		return nil
+	}
+	d.cycles += cycBoundsCheck
+	i := sort.Search(len(d.bounds), func(i int) bool { return d.bounds[i].user > addr }) - 1
+	if i >= 0 {
+		if e := d.bounds[i]; addr-e.user+n <= e.size {
+			return nil
+		}
+	}
+	d.tel.Inc(telemetry.CtrBoundsFaults)
+	d.tel.Event(telemetry.EvBoundsFault, ccid, addr, n)
+	return fmt.Errorf("%w: [%#x, +%d) is not inside a live object", ErrOutOfBounds, addr, n)
+}
+
+// sbReset clears the live index, reusing its capacity (the Reset-seam
+// contract every policy honors for pooled recycling).
+func sbReset(d *Defender) {
+	d.bounds = d.bounds[:0]
+}
+
+// boundsInsert adds one live object, keeping the index sorted by user
+// address.
+func (d *Defender) boundsInsert(user, size uint64) {
+	i := sort.Search(len(d.bounds), func(i int) bool { return d.bounds[i].user >= user })
+	d.bounds = append(d.bounds, boundsEntry{})
+	copy(d.bounds[i+1:], d.bounds[i:])
+	d.bounds[i] = boundsEntry{user: user, size: size}
+}
+
+// boundsRemove deletes the entry with exactly this user pointer.
+func (d *Defender) boundsRemove(user uint64) (boundsEntry, bool) {
+	i := sort.Search(len(d.bounds), func(i int) bool { return d.bounds[i].user >= user })
+	if i >= len(d.bounds) || d.bounds[i].user != user {
+		return boundsEntry{}, false
+	}
+	e := d.bounds[i]
+	d.bounds = append(d.bounds[:i], d.bounds[i+1:]...)
+	return e, true
+}

@@ -152,6 +152,7 @@ func (f *Fleet) newContext() (*Context, error) {
 
 	dcfg := defense.Config{
 		Mode:        f.cfg.Mode,
+		Family:      f.cfg.Family,
 		SharedTable: f.Table(),
 		QueueQuota:  f.cfg.QueueQuota,
 		Telemetry:   c.tel,

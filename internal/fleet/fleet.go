@@ -78,6 +78,11 @@ type Config struct {
 	Space mem.Config
 	// Mode is the defense mode (default defense.ModeFull).
 	Mode defense.Mode
+	// Family selects each defended worker's policy family (default
+	// defense.FamilyHT). Non-HT families keep the shared-table seams —
+	// rollouts still bump every worker's generation — but never consult
+	// the table's contents.
+	Family defense.Family
 	// QueueQuota bounds each worker's deferred-free FIFO
 	// (0 = defense.DefaultQueueQuota).
 	QueueQuota uint64

@@ -87,6 +87,11 @@ type Config struct {
 	Space mem.Config
 	// Alloc selects the allocator under each tenant's defense layer.
 	Alloc fleet.AllocKind
+	// Family selects the defense policy family every tenant runs
+	// (default defense.FamilyHT). Live patch rollout still swaps the
+	// shared table under non-HT families (the seam is policy-agnostic),
+	// though only HT consults its contents.
+	Family defense.Family
 	// Telemetry collects per-tenant counters and events; /metrics
 	// serves its JSON snapshot. Optional.
 	Telemetry *telemetry.Collector
@@ -228,6 +233,7 @@ func New(cfg Config) (*Server, error) {
 		Defended:  true,
 		Patches:   patches,
 		Alloc:     cfg.Alloc,
+		Family:    cfg.Family,
 		Space:     cfg.Space,
 		Engine:    cfg.Engine,
 		TierUp:    cfg.TierUp,
@@ -352,9 +358,14 @@ func (s *Server) worker(ctx *fleet.Context, it prog.Exec) {
 }
 
 // classify decides whether a faulted request was contained by the
-// defense (the fault landed on a guard page — ProtNone) or escaped
-// wild (off the mapping, or an unprotected page).
+// defense — a deliberate policy rejection (bounds check, double-free
+// abort) or a guard-page hit (the fault landed on ProtNone) — or
+// escaped wild (off the mapping, or an unprotected page).
 func (s *Server) classify(ctx *fleet.Context, fault error) string {
+	if defense.IsContainmentFault(fault) {
+		s.contained.Add(1)
+		return OutcomeContained
+	}
 	if f, ok := mem.AsFault(fault); ok {
 		if prot, err := ctx.Space().ProtAt(f.Addr); err == nil && prot == mem.ProtNone {
 			s.contained.Add(1)

@@ -88,6 +88,9 @@ const (
 	// CtrRolloutFails counts rollout attempts that failed (shadow
 	// re-analysis or table build/swap) and left the old table serving.
 	CtrRolloutFails
+	// CtrBoundsFaults counts accesses rejected by a per-object bounds
+	// check (the ShadowBound policy's containment firing).
+	CtrBoundsFaults
 
 	// NumCounters is the number of counter IDs.
 	NumCounters
@@ -111,6 +114,7 @@ var counterNames = [NumCounters]string{
 	CtrRejected:           "rejected",
 	CtrRollouts:           "rollouts",
 	CtrRolloutFails:       "rollout_fails",
+	CtrBoundsFaults:       "bounds_faults",
 }
 
 func (c CounterID) String() string {
@@ -206,6 +210,9 @@ const (
 	// EvFault is an access violation reported by the space: Arg is the
 	// faulting address.
 	EvFault
+	// EvBoundsFault is an access rejected by a per-object bounds check:
+	// CCID is the accessing context, Arg the faulting address.
+	EvBoundsFault
 )
 
 var eventNames = map[EventKind]string{
@@ -215,6 +222,7 @@ var eventNames = map[EventKind]string{
 	EvDoubleFree:        "double-free",
 	EvShadowWarning:     "shadow-warning",
 	EvFault:             "fault",
+	EvBoundsFault:       "bounds-fault",
 }
 
 func (k EventKind) String() string {
